@@ -1,0 +1,47 @@
+//! Benchmark harness for the HOG reproduction.
+//!
+//! Binaries (see `src/bin/`):
+//!
+//! * `tables` — regenerate Tables I, II and III.
+//! * `fig4` — the equivalent-performance sweep (Figure 4).
+//! * `fig5` — node-fluctuation traces + Table IV areas.
+//! * `ablations` — experiments X1–X7 from DESIGN.md.
+//! * `probe` — quick calibration probe (single runs).
+//!
+//! Criterion microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Resolve the output directory for benchmark artifacts (CSV files),
+/// creating it if needed. Defaults to `target/paper-results`, overridable
+/// via `HOG_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HOG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/paper-results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Parse `--threads N` style args with a default.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["x", "--threads", "7"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_usize(&args, "--threads", 3), 7);
+        assert_eq!(arg_usize(&args, "--seeds", 3), 3);
+    }
+}

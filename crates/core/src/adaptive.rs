@@ -1,0 +1,171 @@
+//! Adaptive replication — the paper's second §VI proposal, implemented.
+//!
+//! > "We can use the rate of shrinking and growing to detect the
+//! > instability of HOG to set the number of replicas of the files and
+//! > the number of redundant MapReduce tasks."
+//!
+//! [`AdaptiveReplication`] watches the node-loss rate over a sliding
+//! window and maps it to a replication factor between a floor and a
+//! ceiling: a quiet grid gets the floor (less replication traffic and
+//! disk), a stormy grid gets the ceiling (survive preemption bursts).
+//! The mediator applies the output to the namenode's default (new files)
+//! and, optionally, retargets existing input files.
+
+use hog_sim_core::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Sliding-window loss-rate → replication-factor controller.
+#[derive(Clone, Debug)]
+pub struct AdaptiveReplication {
+    /// Lowest factor the controller will ever choose.
+    pub min_replication: u16,
+    /// Highest factor (HOG's experimental 10).
+    pub max_replication: u16,
+    /// Window over which losses are counted.
+    pub window: SimDuration,
+    /// Loss rate (nodes/hour, normalised per 100 pool nodes) at which the
+    /// ceiling is reached; the factor interpolates linearly below it.
+    pub storm_rate_per_100: f64,
+    losses: VecDeque<SimTime>,
+    current: u16,
+}
+
+impl AdaptiveReplication {
+    /// A controller spanning `[min, max]` replication with a 30-minute
+    /// window; `storm_rate_per_100` defaults to 20 losses/hour per 100
+    /// nodes (a 5 %-of-pool-per-15-min preemption storm).
+    pub fn new(min_replication: u16, max_replication: u16) -> Self {
+        assert!(min_replication >= 1 && max_replication >= min_replication);
+        AdaptiveReplication {
+            min_replication,
+            max_replication,
+            window: SimDuration::from_mins(30),
+            storm_rate_per_100: 20.0,
+            losses: VecDeque::new(),
+            current: min_replication,
+        }
+    }
+
+    /// Record one node loss.
+    pub fn note_loss(&mut self, now: SimTime) {
+        self.losses.push_back(now);
+        self.trim(now);
+    }
+
+    fn trim(&mut self, now: SimTime) {
+        let cutoff = cutoff_time(now, self.window);
+        while self.losses.front().is_some_and(|&t| t < cutoff) {
+            self.losses.pop_front();
+        }
+    }
+
+    /// Losses currently inside the window.
+    pub fn losses_in_window(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Recompute the recommended factor given the current pool size.
+    /// Returns `Some(new_factor)` when it changed.
+    pub fn update(&mut self, now: SimTime, pool_size: usize) -> Option<u16> {
+        self.trim(now);
+        if pool_size == 0 {
+            return None;
+        }
+        let hours = self.window.as_secs_f64() / 3600.0;
+        let rate = self.losses.len() as f64 / hours; // losses/hour
+        let normalised = rate * 100.0 / pool_size as f64;
+        let span = (self.max_replication - self.min_replication) as f64;
+        let frac = (normalised / self.storm_rate_per_100).clamp(0.0, 1.0);
+        let target = self.min_replication + (span * frac).round() as u16;
+        if target != self.current {
+            self.current = target;
+            Some(target)
+        } else {
+            None
+        }
+    }
+
+    /// The factor currently recommended.
+    pub fn current(&self) -> u16 {
+        self.current
+    }
+}
+
+/// `now - window`, saturating at zero.
+fn cutoff_time(now: SimTime, window: SimDuration) -> SimTime {
+    SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_grid_stays_at_floor() {
+        let mut c = AdaptiveReplication::new(3, 10);
+        assert_eq!(c.current(), 3);
+        assert_eq!(c.update(SimTime::from_secs(600), 100), None);
+        assert_eq!(c.current(), 3);
+    }
+
+    #[test]
+    fn storm_raises_to_ceiling() {
+        let mut c = AdaptiveReplication::new(3, 10);
+        // 20 losses in 30 min on a 100-node pool = 40/h = 2× storm rate.
+        for i in 0..20 {
+            c.note_loss(SimTime::from_secs(i * 60));
+        }
+        let new = c.update(SimTime::from_secs(20 * 60), 100);
+        assert_eq!(new, Some(10));
+        assert_eq!(c.current(), 10);
+    }
+
+    #[test]
+    fn intermediate_rates_interpolate() {
+        let mut c = AdaptiveReplication::new(3, 10);
+        // 5 losses in the window on 100 nodes = 10/h = half the storm
+        // rate → roughly the midpoint factor.
+        for i in 0..5 {
+            c.note_loss(SimTime::from_secs(i * 60));
+        }
+        let new = c.update(SimTime::from_secs(10 * 60), 100).unwrap();
+        assert!((6..=8).contains(&new), "got {new}");
+    }
+
+    #[test]
+    fn old_losses_age_out() {
+        let mut c = AdaptiveReplication::new(3, 10);
+        for i in 0..20 {
+            c.note_loss(SimTime::from_secs(i * 10));
+        }
+        assert_eq!(c.update(SimTime::from_secs(300), 100), Some(10));
+        // Two hours later the window is empty: back to the floor.
+        assert_eq!(c.update(SimTime::from_secs(2 * 3600 + 300), 100), Some(3));
+        assert_eq!(c.losses_in_window(), 0);
+    }
+
+    #[test]
+    fn small_pools_normalise_up() {
+        // 3 losses on a 10-node pool is a storm; the same 3 losses on a
+        // 1000-node pool is noise.
+        let mut small = AdaptiveReplication::new(3, 10);
+        let mut big = AdaptiveReplication::new(3, 10);
+        for i in 0..3 {
+            small.note_loss(SimTime::from_secs(i * 60));
+            big.note_loss(SimTime::from_secs(i * 60));
+        }
+        let s = small.update(SimTime::from_secs(240), 10).unwrap_or(3);
+        let b = big.update(SimTime::from_secs(240), 1000).unwrap_or(3);
+        assert!(s > b, "small pool should react harder: {s} vs {b}");
+    }
+
+    #[test]
+    fn update_reports_only_changes() {
+        let mut c = AdaptiveReplication::new(3, 10);
+        for i in 0..20 {
+            c.note_loss(SimTime::from_secs(i * 60));
+        }
+        assert!(c.update(SimTime::from_secs(1300), 100).is_some());
+        assert!(c.update(SimTime::from_secs(1310), 100).is_none());
+    }
+}

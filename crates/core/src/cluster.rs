@@ -1,0 +1,1346 @@
+//! The cluster mediator: owns simulated time and wires grid, HDFS,
+//! MapReduce and the network together.
+//!
+//! A run goes through four phases, mirroring the paper's §IV-A
+//! methodology:
+//!
+//! 1. **Forming** — glidein requests are submitted and the run waits
+//!    until the pool reaches the configured size ("we first configure a
+//!    given number of nodes that HOG will achieve and wait until HOG
+//!    reaches this number");
+//! 2. **Uploading** — every job's input file is staged into HDFS
+//!    (pipeline writes from the central server; not counted in the
+//!    workload response time);
+//! 3. **Running** — the submission schedule replays; response time is
+//!    measured from the first submission to the last job's completion;
+//! 4. **Done**.
+
+use crate::config::{ClusterConfig, PlacementKind, ResourceConfig};
+use crate::event::{DoomReason, Event};
+use hog_grid::{GridModel, GridNote, LossReason};
+use hog_hdfs::{
+    BlockId, FileId, Namenode, RackAwarePolicy, RackObliviousPolicy, ReplOrder, SiteAwarePolicy,
+};
+use hog_mapreduce::jobtracker::FailReason;
+use hog_mapreduce::{Assignment, AttemptRef, JobId, JobSubmission, JobTracker, JtNote, ReduceStep};
+use hog_net::{FlowEnd, FlowId, FlowOutcome, FluidNet, Network, NodeId, Topology};
+use hog_sim_core::engine::{Model, Scheduler};
+use hog_sim_core::metrics::StepSeries;
+use hog_sim_core::units::transfer_secs;
+use hog_sim_core::{SimDuration, SimRng, SimTime};
+use hog_workload::{JobSpec, SubmissionSchedule};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// What an in-flight network transfer means.
+#[derive(Clone, Debug)]
+enum FlowCtx {
+    /// A map reading its remote input block.
+    MapInput { attempt: AttemptRef },
+    /// A reduce shuffle fetch.
+    Shuffle { attempt: AttemptRef, order: u64 },
+    /// A namenode-ordered replication transfer.
+    Repl {
+        block: BlockId,
+        src: NodeId,
+        dst: NodeId,
+    },
+    /// Writer → first pipeline target of a block write.
+    PipeHead { write: u64 },
+    /// First target → one further replica of a block write.
+    PipeFan { write: u64, target: NodeId },
+    /// A balancer move: copy `block` to `dst`, then drop it from `src`.
+    Balancer {
+        block: BlockId,
+        src: NodeId,
+        dst: NodeId,
+    },
+}
+
+/// Who asked for a block write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WriteOwner {
+    /// Input staging from the central server.
+    Upload,
+    /// A reduce attempt writing its output file.
+    ReduceOutput { attempt: AttemptRef },
+}
+
+/// An in-progress pipelined block write.
+#[derive(Clone, Debug)]
+struct WriteState {
+    block: BlockId,
+    file: FileId,
+    targets: Vec<NodeId>,
+    written: Vec<NodeId>,
+    outstanding: usize,
+    owner: WriteOwner,
+    retries: u8,
+    size: u64,
+    flow_ids: Vec<FlowId>,
+    /// Datanodes this write already saw fail; excluded on retry, like an
+    /// HDFS client's excluded-nodes list.
+    excluded: std::collections::BTreeSet<NodeId>,
+}
+
+/// Cached per-map-attempt execution parameters.
+#[derive(Clone, Copy, Debug)]
+struct MapMeta {
+    node: NodeId,
+    block: BlockId,
+    input_bytes: u64,
+    cpu_secs: f64,
+    output_bytes: u64,
+}
+
+/// Run phase (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Waiting for the pool to reach the configured size.
+    Forming,
+    /// Staging input data into HDFS.
+    Uploading,
+    /// Replaying the submission schedule.
+    Running,
+    /// Every job reached a terminal state.
+    Done,
+}
+
+/// Cumulative mediator-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterCounters {
+    /// Input blocks that could not be allocated at upload.
+    pub upload_alloc_failures: u64,
+    /// Pipeline writes abandoned after repeated head failures.
+    pub write_failures: u64,
+    /// Attempts doomed on zombie nodes.
+    pub zombie_task_failures: u64,
+    /// Attempts doomed by missing input blocks.
+    pub lost_block_failures: u64,
+    /// Shuffle fetch timeouts against unusable sources.
+    pub fetch_timeouts: u64,
+}
+
+/// The full-cluster simulation model.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    topo: Topology,
+    net: FluidNet,
+    grid: Option<GridModel>,
+    nn: Namenode,
+    jt: JobTracker,
+    rng: SimRng,
+    master: NodeId,
+    /// Nodes whose daemons are running (zombies included).
+    daemons_up: BTreeSet<NodeId>,
+    /// Zombie nodes: daemons up, storage gone.
+    zombies: BTreeSet<NodeId>,
+    flows: HashMap<FlowId, FlowCtx>,
+    attempt_flows: HashMap<AttemptRef, Vec<FlowId>>,
+    writes: HashMap<u64, WriteState>,
+    next_write_id: u64,
+    map_meta: HashMap<AttemptRef, MapMeta>,
+    reduce_out: HashMap<AttemptRef, (u64, u16)>,
+    schedule: Vec<JobSpec>,
+    input_files: Vec<FileId>,
+    job_of_schedule: HashMap<JobId, usize>,
+    /// Per-schedule-index outcome: completion time (None = failed).
+    pub job_results: Vec<Option<(SimTime, bool)>>,
+    finished_jobs: usize,
+    phase: RunPhase,
+    upload_queue: VecDeque<(FileId, u64)>,
+    upload_in_flight: usize,
+    /// Nodes the master believes alive (JobTracker view; Fig. 5 curve).
+    pub reported_series: StepSeries,
+    /// Daemons actually running and usable.
+    pub actual_series: StepSeries,
+    /// First submission instant.
+    pub workload_start: Option<SimTime>,
+    /// Last job completion instant.
+    pub workload_end: Option<SimTime>,
+    /// Mediator counters.
+    pub counters: ClusterCounters,
+    target_nodes: usize,
+    /// Adaptive-replication controller (extension X9), when enabled.
+    adaptive: Option<crate::adaptive::AdaptiveReplication>,
+    /// History of adaptive factor changes: (time, factor).
+    pub adaptive_changes: Vec<(SimTime, u16)>,
+}
+
+impl Cluster {
+    /// Build a cluster (and its initial event seeds) from a config and a
+    /// workload. Call [`Cluster::bootstrap`] to obtain the initial events.
+    pub fn new(cfg: ClusterConfig, schedule: &SubmissionSchedule) -> Self {
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let mut topo = Topology::new();
+        // The stable central server (Namenode + JobTracker) lives in its
+        // own "site": a well-connected machine outside the worker pool.
+        let central = topo.add_site("CENTRAL", "hcc.unl.edu");
+        let master = topo.add_node_named(central, "master.hcc.unl.edu".to_string());
+        let mut net = FluidNet::new(cfg.net);
+        net.register_node(master, central);
+
+        let placement: Box<dyn hog_hdfs::PlacementPolicy> = match &cfg.placement {
+            PlacementKind::SiteAware => Box::new(SiteAwarePolicy),
+            PlacementKind::RackAware => Box::new(RackAwarePolicy),
+            PlacementKind::RackOblivious => Box::new(RackObliviousPolicy),
+            // Resolved to the concrete site id in bootstrap(), once the
+            // grid has registered its sites in the topology.
+            PlacementKind::AnchorFirst { .. } => Box::new(SiteAwarePolicy),
+        };
+        let nn = Namenode::new(cfg.hdfs.clone(), placement, rng.fork(2));
+        let jt = JobTracker::new(cfg.mr, rng.fork(3));
+        let target_nodes = cfg.resource.target_nodes();
+        let n_jobs = schedule.len();
+        let cfg2 = cfg.adaptive_replication;
+        Cluster {
+            cfg,
+            topo,
+            net,
+            grid: None,
+            nn,
+            jt,
+            rng,
+            master,
+            daemons_up: BTreeSet::new(),
+            zombies: BTreeSet::new(),
+            flows: HashMap::new(),
+            attempt_flows: HashMap::new(),
+            writes: HashMap::new(),
+            next_write_id: 0,
+            map_meta: HashMap::new(),
+            reduce_out: HashMap::new(),
+            schedule: schedule.jobs().to_vec(),
+            input_files: Vec::new(),
+            job_of_schedule: HashMap::new(),
+            job_results: vec![None; n_jobs],
+            finished_jobs: 0,
+            phase: RunPhase::Forming,
+            upload_queue: VecDeque::new(),
+            upload_in_flight: 0,
+            reported_series: StepSeries::new(),
+            actual_series: StepSeries::new(),
+            workload_start: None,
+            workload_end: None,
+            counters: ClusterCounters::default(),
+            target_nodes,
+            adaptive: cfg2
+                .map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
+            adaptive_changes: Vec::new(),
+        }
+    }
+
+    /// Seed the initial events: grid submission (or fixed-node
+    /// registration) and the master tick.
+    pub fn bootstrap(&mut self, sim: &mut hog_sim_core::Simulation<Self>) {
+        sim.schedule(SimTime::ZERO, Event::MasterTick);
+        self.finish_bootstrap(sim);
+        // Anchor placement needs the anchor site's id, known only now.
+        if let PlacementKind::AnchorFirst { site_name } = self.cfg.placement.clone() {
+            let anchor = self
+                .topo
+                .sites()
+                .iter()
+                .find(|s| s.name == site_name)
+                .map(|s| s.id)
+                .expect("anchor site not registered");
+            self.nn
+                .set_policy(Box::new(hog_hdfs::AnchorFirstPolicy { anchor }));
+        }
+    }
+
+    fn finish_bootstrap(&mut self, sim: &mut hog_sim_core::Simulation<Self>) {
+        match self.cfg.resource.clone() {
+            ResourceConfig::Grid {
+                params,
+                sites,
+                target_nodes,
+                ..
+            } => {
+                let (mut grid, init) =
+                    GridModel::new(params, sites, &mut self.topo, self.rng.fork(1));
+                for (d, e) in init {
+                    sim.schedule(SimTime::ZERO + d, Event::Grid(e));
+                }
+                let out = grid.submit_workers(SimTime::ZERO, target_nodes);
+                for (d, e) in out.defer {
+                    sim.schedule(SimTime::ZERO + d, Event::Grid(e));
+                }
+                debug_assert!(out.notes.is_empty());
+                self.grid = Some(grid);
+            }
+            ResourceConfig::Fixed {
+                site_name,
+                domain,
+                nodes,
+            } => {
+                let site = self.topo.add_site(site_name, domain);
+                let specs: Vec<(NodeId, (u8, u8))> = nodes
+                    .iter()
+                    .map(|&slots| (self.topo.add_node(site), slots))
+                    .collect();
+                for (node, (m, r)) in specs {
+                    self.register_worker_at(SimTime::ZERO, node, m, r, sim);
+                }
+                self.phase = RunPhase::Uploading;
+                self.begin_upload_queue();
+                sim.schedule(SimTime::ZERO, Event::PumpUpload);
+            }
+        }
+    }
+
+    // `register_worker` exists in two flavours because bootstrap has a
+    // `Simulation` and runtime handlers have a `Scheduler`.
+    fn register_worker_at(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        map_slots: u8,
+        reduce_slots: u8,
+        sim: &mut hog_sim_core::Simulation<Self>,
+    ) {
+        self.register_worker_common(now, node, map_slots, reduce_slots);
+        let (hb, check) = self.worker_timers(node);
+        sim.schedule(now + hb, Event::Heartbeat { node });
+        if let Some(d) = check {
+            sim.schedule(now + d, Event::DiskCheck { node });
+        }
+    }
+
+    fn register_worker(
+        &mut self,
+        node: NodeId,
+        map_slots: u8,
+        reduce_slots: u8,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        self.register_worker_common(sched.now(), node, map_slots, reduce_slots);
+        let (hb, check) = self.worker_timers(node);
+        sched.after(hb, Event::Heartbeat { node });
+        if let Some(d) = check {
+            sched.after(d, Event::DiskCheck { node });
+        }
+    }
+
+    fn register_worker_common(&mut self, now: SimTime, node: NodeId, m: u8, r: u8) {
+        self.daemons_up.insert(node);
+        self.net.register_node(node, self.topo.site_of(node));
+        self.nn.register_datanode(now, node);
+        self.jt.register_tracker(now, node, m, r);
+    }
+
+    /// Stagger heartbeats so 1000 nodes don't tick in the same
+    /// millisecond; disk-check period from config.
+    fn worker_timers(&self, node: NodeId) -> (SimDuration, Option<SimDuration>) {
+        let hb_ms = self.cfg.mr.heartbeat_interval.as_millis().max(1);
+        let offset = (node.0 as u64).wrapping_mul(5741) % hb_ms;
+        (
+            SimDuration::from_millis(offset + 1),
+            self.cfg.hdfs.disk_check_interval,
+        )
+    }
+
+    /// The current run phase.
+    pub fn phase(&self) -> RunPhase {
+        self.phase
+    }
+
+    /// Topology access (reports).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Namenode access (reports).
+    pub fn namenode(&self) -> &Namenode {
+        &self.nn
+    }
+
+    /// JobTracker access (reports).
+    pub fn jobtracker(&self) -> &JobTracker {
+        &self.jt
+    }
+
+    /// Grid access (reports), if this cluster runs on the grid.
+    pub fn grid(&self) -> Option<&GridModel> {
+        self.grid.as_ref()
+    }
+
+    /// Count of *input* blocks currently missing (diagnostics: these are
+    /// the ones that fail jobs).
+    pub fn missing_input_blocks(&self) -> usize {
+        self.input_files
+            .iter()
+            .flat_map(|&f| self.nn.blocks_of(f))
+            .filter(|&&b| self.nn.block(b).expected > 0 && self.nn.block(b).is_missing())
+            .count()
+    }
+
+    /// Schedule-index ↔ JobTracker id mapping (reports).
+    pub fn job_for_index(&self, index: usize) -> Option<JobId> {
+        self.job_of_schedule
+            .iter()
+            .find(|(_, &i)| i == index)
+            .map(|(&j, _)| j)
+    }
+
+    // ==================================================================
+    // Upload
+    // ==================================================================
+
+    fn begin_upload_queue(&mut self) {
+        let block = self.cfg.hdfs.block_size;
+        for (i, spec) in self.schedule.iter().enumerate() {
+            let f = self
+                .nn
+                .create_file(format!("/in/job{i}"), self.cfg.hdfs.replication);
+            self.input_files.push(f);
+            for _ in 0..spec.maps {
+                self.upload_queue.push_back((f, block));
+            }
+        }
+    }
+
+    fn pump_upload(&mut self, sched: &mut Scheduler<'_, Event>) {
+        while self.upload_in_flight < self.cfg.upload_parallel {
+            let Some((file, size)) = self.upload_queue.pop_front() else {
+                break;
+            };
+            match self.nn.allocate_block(file, size, None, &self.topo) {
+                Some((block, targets)) => {
+                    self.upload_in_flight += 1;
+                    self.start_write(sched, WriteOwner::Upload, file, block, size, targets, None);
+                }
+                None => {
+                    self.counters.upload_alloc_failures += 1;
+                }
+            }
+        }
+        if self.upload_queue.is_empty() && self.upload_in_flight == 0
+            && self.phase == RunPhase::Uploading
+        {
+            self.finish_upload(sched);
+        }
+    }
+
+    fn finish_upload(&mut self, sched: &mut Scheduler<'_, Event>) {
+        for &f in &self.input_files {
+            self.nn.complete_file(f);
+        }
+        if std::env::var("HOG_DEBUG_WRITES").is_ok() {
+            let mut hist = std::collections::BTreeMap::new();
+            for &f in &self.input_files {
+                for &b in self.nn.blocks_of(f) {
+                    *hist.entry(self.nn.block(b).replicas.len()).or_insert(0u32) += 1;
+                }
+            }
+            eprintln!("upload done at {}: replica histogram {hist:?}", sched.now());
+        }
+        self.phase = RunPhase::Running;
+        let base = sched.now();
+        self.workload_start = Some(base + (self.schedule[0].submit_at - SimTime::ZERO));
+        for (i, spec) in self.schedule.iter().enumerate() {
+            let at = base + (spec.submit_at - SimTime::ZERO);
+            sched.at(at, Event::SubmitJob { index: i });
+        }
+    }
+
+    // ==================================================================
+    // Pipelined block writes
+    // ==================================================================
+
+    /// Begin writing `block` to `targets`. `writer` is the local datanode
+    /// for output writes (None = the central server is the client).
+    #[allow(clippy::too_many_arguments)]
+    fn start_write(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        owner: WriteOwner,
+        file: FileId,
+        block: BlockId,
+        size: u64,
+        targets: Vec<NodeId>,
+        writer: Option<NodeId>,
+    ) {
+        debug_assert!(!targets.is_empty());
+        let id = self.next_write_id;
+        self.next_write_id += 1;
+        let head = targets[0];
+        let mut st = WriteState {
+            block,
+            file,
+            targets: targets.clone(),
+            written: Vec::new(),
+            outstanding: 0,
+            owner,
+            retries: 0,
+            size,
+            flow_ids: Vec::new(),
+            excluded: std::collections::BTreeSet::new(),
+        };
+        if writer == Some(head) {
+            // Writer-local first replica: the local disk write overlaps
+            // the fan-out; start fanning immediately.
+            st.written.push(head);
+            self.writes.insert(id, st);
+            self.start_fan(sched, id);
+        } else if !self.node_usable(head) {
+            // The chosen head died (or is a zombie) in the same instant;
+            // exclude it and retry with fresh targets.
+            st.excluded.insert(head);
+            self.writes.insert(id, st);
+            self.retry_or_fail_write(sched, id);
+        } else {
+            let src = writer.unwrap_or(self.master);
+            let fid = self.net.start_flow(sched.now(), src, head, size, 0);
+            self.flows.insert(fid, FlowCtx::PipeHead { write: id });
+            st.flow_ids.push(fid);
+            self.writes.insert(id, st);
+            self.arm_net(sched);
+        }
+        if let WriteOwner::ReduceOutput { attempt } = owner {
+            // Track the write's flows under the attempt for cancellation.
+            // (The write may already be gone if the unusable-head branch
+            // above retried/failed it synchronously.)
+            if let Some(st) = self.writes.get(&id) {
+                let ids = st.flow_ids.clone();
+                self.attempt_flows.entry(attempt).or_default().extend(ids);
+            }
+        }
+    }
+
+    /// Whether a node is alive with working storage (writable target).
+    fn node_usable(&self, node: NodeId) -> bool {
+        self.daemons_up.contains(&node) && !self.zombies.contains(&node)
+    }
+
+    /// Fan the block from its first holder to the remaining replicas.
+    /// Targets that died (or zombified) since allocation are skipped —
+    /// the replication monitor repairs the deficit later.
+    fn start_fan(&mut self, sched: &mut Scheduler<'_, Event>, write: u64) {
+        let (head, rest, size, owner) = {
+            let st = &self.writes[&write];
+            (
+                st.written[0],
+                st.targets[1..].to_vec(),
+                st.size,
+                st.owner,
+            )
+        };
+        let rest: Vec<NodeId> = rest.into_iter().filter(|&t| self.node_usable(t)).collect();
+        if rest.is_empty() {
+            self.finish_write(sched, write);
+            return;
+        }
+        let mut new_flows = Vec::new();
+        for t in rest {
+            let fid = self.net.start_flow(sched.now(), head, t, size, 0);
+            self.flows.insert(fid, FlowCtx::PipeFan { write, target: t });
+            new_flows.push(fid);
+        }
+        {
+            let st = self.writes.get_mut(&write).unwrap();
+            st.outstanding = new_flows.len();
+            st.flow_ids.extend(new_flows.iter().copied());
+        }
+        if let WriteOwner::ReduceOutput { attempt } = owner {
+            self.attempt_flows
+                .entry(attempt)
+                .or_default()
+                .extend(new_flows);
+        }
+        self.arm_net(sched);
+    }
+
+    fn finish_write(&mut self, sched: &mut Scheduler<'_, Event>, write: u64) {
+        // Only count replicas on nodes still alive with working storage;
+        // a head that died mid-fan takes its copy (and its fan flows)
+        // with it. Zero surviving replicas = pipeline failure → the
+        // client retries the whole block, as HDFS clients do.
+        let surviving: Vec<NodeId> = self.writes[&write]
+            .written
+            .iter()
+            .copied()
+            .filter(|&n| self.node_usable(n))
+            .collect();
+        if surviving.is_empty() {
+            self.retry_or_fail_write(sched, write);
+            return;
+        }
+        let mut st = self.writes.remove(&write).unwrap();
+        st.written = surviving;
+        self.nn.commit_block(st.block, &st.written);
+        match st.owner {
+            WriteOwner::Upload => {
+                self.upload_in_flight -= 1;
+                // Pump via an event, not a direct call: a long run of
+                // synchronously-failing writes must not recurse.
+                sched.now_event(Event::PumpUpload);
+            }
+            WriteOwner::ReduceOutput { attempt } => {
+                self.nn.complete_file(st.file);
+                let notes = self.jt.reduce_done(sched.now(), attempt);
+                self.reduce_out.remove(&attempt);
+                self.handle_notes(sched, notes);
+            }
+        }
+    }
+
+    /// A pipeline write lost its head transfer: retry with fresh targets
+    /// or abandon.
+    fn retry_or_fail_write(&mut self, sched: &mut Scheduler<'_, Event>, write: u64) {
+        let Some(st) = self.writes.get(&write) else { return };
+        let (owner, file, size, retries, old_block) =
+            (st.owner, st.file, st.size, st.retries, st.block);
+        let mut excluded = st.excluded.clone();
+        // Whatever head this write last targeted has now failed it.
+        if let Some(&head) = st.targets.first() {
+            excluded.insert(head);
+        }
+        self.writes.remove(&write);
+        // The failed allocation leaves the namespace entirely.
+        self.nn.abandon_block(old_block);
+        let writer = match owner {
+            WriteOwner::Upload => None,
+            WriteOwner::ReduceOutput { attempt } => Some(self.attempt_node(attempt)),
+        };
+        // A reduce whose own node died cannot retry its output write; the
+        // JobTracker's tracker timeout reschedules the whole attempt.
+        let writer_gone = writer.is_some_and(|w| !self.daemons_up.contains(&w));
+        if retries < 3 && !writer_gone {
+            if let Some((block, targets)) =
+                self.nn
+                    .allocate_block_excluding(file, size, writer, &excluded, &self.topo)
+            {
+                let id = self.next_write_id;
+                self.next_write_id += 1;
+                self.writes.insert(
+                    id,
+                    WriteState {
+                        block,
+                        file,
+                        targets: targets.clone(),
+                        written: Vec::new(),
+                        outstanding: 0,
+                        owner,
+                        retries: retries + 1,
+                        size,
+                        flow_ids: Vec::new(),
+                        excluded,
+                    },
+                );
+                let head = targets[0];
+                if writer == Some(head) {
+                    let st = self.writes.get_mut(&id).unwrap();
+                    st.written.push(head);
+                    self.start_fan(sched, id);
+                } else if !self.node_usable(head) {
+                    self.writes.get_mut(&id).unwrap().excluded.insert(head);
+                    self.retry_or_fail_write(sched, id);
+                } else {
+                    let src = writer.unwrap_or(self.master);
+                    let fid = self.net.start_flow(sched.now(), src, head, size, 0);
+                    self.flows.insert(fid, FlowCtx::PipeHead { write: id });
+                    self.writes.get_mut(&id).unwrap().flow_ids.push(fid);
+                    self.arm_net(sched);
+                }
+                return;
+            }
+        }
+        self.counters.write_failures += 1;
+        if std::env::var("HOG_DEBUG_WRITES").is_ok() {
+            eprintln!(
+                "write failed: owner={owner:?} retries={retries} block={old_block:?} size={size}"
+            );
+        }
+        match owner {
+            WriteOwner::Upload => {
+                self.upload_in_flight -= 1;
+                self.counters.upload_alloc_failures += 1;
+                sched.now_event(Event::PumpUpload);
+            }
+            WriteOwner::ReduceOutput { attempt } => {
+                let notes = self
+                    .jt
+                    .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
+                self.reduce_out.remove(&attempt);
+                self.handle_notes(sched, notes);
+            }
+        }
+    }
+
+    // ==================================================================
+    // Network plumbing
+    // ==================================================================
+
+    /// (Re-)arm the network tick at the next flow completion.
+    fn arm_net(&mut self, sched: &mut Scheduler<'_, Event>) {
+        if let Some(t) = self.net.next_completion() {
+            sched.at(t, Event::NetTick);
+        }
+    }
+
+    fn on_flow_end(&mut self, sched: &mut Scheduler<'_, Event>, end: FlowEnd) {
+        let Some(ctx) = self.flows.remove(&end.id) else {
+            return;
+        };
+        let ok = end.outcome == FlowOutcome::Completed;
+        match ctx {
+            FlowCtx::MapInput { attempt } => {
+                if !self.jt.attempt_active(attempt) {
+                    return;
+                }
+                let Some(meta) = self.map_meta.get(&attempt).copied() else {
+                    return;
+                };
+                if !self.daemons_up.contains(&meta.node) {
+                    return; // node died; JT timeout will requeue
+                }
+                if ok {
+                    sched.after(
+                        SimDuration::from_secs_f64(meta.cpu_secs),
+                        Event::MapComputeDone { attempt },
+                    );
+                } else {
+                    // Source died: pick another replica and retry.
+                    self.start_map_read(sched, attempt);
+                }
+            }
+            FlowCtx::Shuffle { attempt, order } => {
+                if !self.jt.attempt_active(attempt) {
+                    return;
+                }
+                if ok {
+                    self.jt.fetch_done(attempt, order);
+                } else {
+                    self.jt.fetch_failed(attempt, order, &self.topo);
+                }
+                self.drive_reduce(sched, attempt);
+            }
+            FlowCtx::Repl { block, src, dst } => {
+                self.nn.repl_done(block, src, dst, ok);
+            }
+            FlowCtx::Balancer { block, src, dst } => {
+                if ok && self.node_usable(dst) {
+                    // Copy landed: register it, then drop the source copy
+                    // (a move, like `balancer::apply_move`, but with the
+                    // transfer having actually crossed the network).
+                    // `repl_done` also decrements both ends' replication
+                    // stream counters; balancer moves never incremented
+                    // them, which is safe because the decrement saturates.
+                    self.nn.repl_done(block, src, dst, true);
+                    self.nn.report_bad_replica(block, src);
+                }
+                // Failed moves are simply abandoned; the balancer re-plans
+                // on its next tick.
+            }
+            FlowCtx::PipeHead { write } => {
+                if !self.writes.contains_key(&write) {
+                    return; // abandoned (owner attempt was killed)
+                }
+                let head = self.writes[&write].targets[0];
+                if ok && self.node_usable(head) {
+                    self.writes.get_mut(&write).unwrap().written.push(head);
+                    self.start_fan(sched, write);
+                } else {
+                    if std::env::var("HOG_DEBUG_WRITES").is_ok() {
+                        eprintln!(
+                            "pipe head end: ok={ok} usable={} head={head:?}",
+                            self.node_usable(head)
+                        );
+                    }
+                    // Transfer failed, or the head zombified mid-write
+                    // (bytes landed in a deleted working directory).
+                    self.retry_or_fail_write(sched, write);
+                }
+            }
+            FlowCtx::PipeFan { write, target } => {
+                let usable = self.node_usable(target);
+                let Some(st) = self.writes.get_mut(&write) else {
+                    return;
+                };
+                if ok && usable {
+                    st.written.push(target);
+                }
+                st.outstanding -= 1;
+                if st.outstanding == 0 {
+                    self.finish_write(sched, write);
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Worker lifecycle
+    // ==================================================================
+
+    fn on_node_started(&mut self, node: NodeId, sched: &mut Scheduler<'_, Event>) {
+        let (m, r) = match &self.cfg.resource {
+            ResourceConfig::Grid { slots, .. } => *slots,
+            ResourceConfig::Fixed { .. } => (1, 1),
+        };
+        self.register_worker(node, m, r, sched);
+        if self.phase == RunPhase::Forming && self.daemons_up.len() >= self.target_nodes {
+            self.phase = RunPhase::Uploading;
+            self.begin_upload_queue();
+            sched.now_event(Event::PumpUpload);
+        }
+    }
+
+    fn on_node_lost(&mut self, node: NodeId, reason: LossReason, sched: &mut Scheduler<'_, Event>) {
+        if let Some(ad) = &mut self.adaptive {
+            ad.note_loss(sched.now());
+        }
+        let zombie_roll = self.cfg.zombie.enabled
+            && reason == LossReason::Preempted
+            && self.rng.chance(self.cfg.zombie.probability);
+        if zombie_roll {
+            // Double-forked daemons survive the kill; their working
+            // directory is gone. They keep heartbeating.
+            self.zombies.insert(node);
+            self.nn.mark_storage_failed(node);
+        } else {
+            self.shutdown_daemons(node, sched);
+        }
+    }
+
+    /// Daemons on `node` are gone: kill flows, stop heartbeats, let the
+    /// masters time the node out.
+    fn shutdown_daemons(&mut self, node: NodeId, sched: &mut Scheduler<'_, Event>) {
+        self.daemons_up.remove(&node);
+        self.zombies.remove(&node);
+        // Mark the masters' views FIRST: killed-flow handlers below may
+        // retry writes, and the namenode must not hand the dead node out
+        // as a fresh pipeline target.
+        self.nn.mark_silent(sched.now(), node);
+        self.jt.tracker_silent(sched.now(), node);
+        let killed = self.net.remove_node(sched.now(), node);
+        for end in killed {
+            self.on_flow_end(sched, end);
+        }
+        self.arm_net(sched);
+    }
+
+    // ==================================================================
+    // Task execution
+    // ==================================================================
+
+    fn attempt_node(&self, att: AttemptRef) -> NodeId {
+        self.jt.job(att.task.job).task(att.task).attempts[att.attempt as usize].node
+    }
+
+    fn start_assignments(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        node: NodeId,
+        assignments: Vec<Assignment>,
+    ) {
+        for a in assignments {
+            match a {
+                Assignment::Map {
+                    attempt,
+                    block,
+                    input_bytes,
+                    cpu_secs,
+                    output_bytes,
+                    ..
+                } => {
+                    self.map_meta.insert(
+                        attempt,
+                        MapMeta {
+                            node,
+                            block,
+                            input_bytes,
+                            cpu_secs,
+                            output_bytes,
+                        },
+                    );
+                    if self.zombies.contains(&node) {
+                        sched.after(
+                            self.cfg.zombie_fail_delay,
+                            Event::AttemptDoomed {
+                                attempt,
+                                reason: DoomReason::Zombie,
+                            },
+                        );
+                    } else {
+                        self.start_map_read(sched, attempt);
+                    }
+                }
+                Assignment::Reduce { attempt } => {
+                    if self.zombies.contains(&node) {
+                        sched.after(
+                            self.cfg.zombie_fail_delay,
+                            Event::AttemptDoomed {
+                                attempt,
+                                reason: DoomReason::Zombie,
+                            },
+                        );
+                    } else {
+                        self.drive_reduce(sched, attempt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve the input source for a map attempt and start the read
+    /// (local disk or a network flow).
+    fn start_map_read(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        let Some(meta) = self.map_meta.get(&attempt).copied() else {
+            return;
+        };
+        if !self.daemons_up.contains(&meta.node) {
+            return; // node died; the JobTracker timeout requeues the task
+        }
+        let rtt = self.net.latency(self.master, meta.node) * 2;
+        loop {
+            match self.nn.pick_read_source(meta.block, meta.node, &self.topo) {
+                None => {
+                    sched.after(
+                        rtt + SimDuration::from_secs(1),
+                        Event::AttemptDoomed {
+                            attempt,
+                            reason: DoomReason::LostBlock,
+                        },
+                    );
+                    return;
+                }
+                Some(src) if self.nn.storage_failed(src) => {
+                    // Zombie replica: the read fails fast and the client
+                    // reports the bad replica, then tries the next one.
+                    self.nn.report_bad_replica(meta.block, src);
+                    continue;
+                }
+                Some(src) if src == meta.node => {
+                    let secs = transfer_secs(meta.input_bytes, self.cfg.mr.disk_read_rate);
+                    sched.after(
+                        rtt + SimDuration::from_secs_f64(secs),
+                        Event::MapInputReady { attempt },
+                    );
+                    return;
+                }
+                Some(src) => {
+                    let fid =
+                        self.net
+                            .start_flow(sched.now(), src, meta.node, meta.input_bytes, 0);
+                    self.flows.insert(fid, FlowCtx::MapInput { attempt });
+                    self.attempt_flows.entry(attempt).or_default().push(fid);
+                    self.arm_net(sched);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_map_compute_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        if !self.jt.attempt_active(attempt) {
+            return;
+        }
+        let Some(meta) = self.map_meta.get(&attempt).copied() else {
+            return;
+        };
+        if !self.daemons_up.contains(&meta.node) {
+            return;
+        }
+        if !self.jt.reserve_map_scratch(attempt, meta.node) {
+            // Out of local disk: the §IV-D.2 failure mode.
+            let notes = self
+                .jt
+                .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
+            self.map_meta.remove(&attempt);
+            self.handle_notes(sched, notes);
+            return;
+        }
+        let secs = transfer_secs(meta.output_bytes, self.cfg.mr.disk_write_rate);
+        sched.after(
+            SimDuration::from_secs_f64(secs),
+            Event::MapSpillDone { attempt },
+        );
+    }
+
+    fn on_map_spill_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        if !self.jt.attempt_active(attempt) {
+            return;
+        }
+        let node = self.attempt_node(attempt);
+        if !self.daemons_up.contains(&node) {
+            return;
+        }
+        let out = self.jt.map_done(sched.now(), attempt, &self.topo);
+        self.map_meta.remove(&attempt);
+        self.handle_notes(sched, out.notes);
+        for r in out.wake_reduces {
+            self.drive_reduce(sched, r);
+        }
+        let notes = self
+            .jt
+            .try_complete_maponly(sched.now(), attempt.task.job);
+        self.handle_notes(sched, notes);
+    }
+
+    fn drive_reduce(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        if !self.jt.attempt_active(attempt) {
+            return;
+        }
+        let node = self.attempt_node(attempt);
+        if !self.daemons_up.contains(&node) {
+            return;
+        }
+        match self.jt.reduce_next(attempt) {
+            ReduceStep::Fetch(orders) => {
+                for (id, order) in orders {
+                    let usable = self.daemons_up.contains(&order.src_rep)
+                        && !self.zombies.contains(&order.src_rep);
+                    if usable {
+                        let fid = self.net.start_flow_diffuse(
+                            sched.now(),
+                            order.src_rep,
+                            node,
+                            order.bytes,
+                            0,
+                        );
+                        self.flows
+                            .insert(fid, FlowCtx::Shuffle { attempt, order: id });
+                        self.attempt_flows.entry(attempt).or_default().push(fid);
+                    } else {
+                        self.counters.fetch_timeouts += 1;
+                        sched.after(
+                            self.cfg.fetch_retry_delay,
+                            Event::FetchTimeout { attempt, order: id },
+                        );
+                    }
+                }
+                self.arm_net(sched);
+            }
+            ReduceStep::StartSort {
+                cpu_secs,
+                output_bytes,
+                replication,
+            } => {
+                self.reduce_out.insert(attempt, (output_bytes, replication));
+                sched.after(
+                    SimDuration::from_secs_f64(cpu_secs),
+                    Event::ReduceSortDone { attempt },
+                );
+            }
+            ReduceStep::Wait => {}
+        }
+    }
+
+    fn on_reduce_sort_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        if !self.jt.attempt_active(attempt) {
+            return;
+        }
+        let node = self.attempt_node(attempt);
+        if !self.daemons_up.contains(&node) {
+            return;
+        }
+        let Some(&(bytes, repl)) = self.reduce_out.get(&attempt) else {
+            return;
+        };
+        let path = format!(
+            "/out/j{}/r{}-a{}",
+            attempt.task.job.0, attempt.task.index, attempt.attempt
+        );
+        let file = self.nn.create_file(path, repl);
+        match self.nn.allocate_block(file, bytes, Some(node), &self.topo) {
+            Some((block, targets)) => {
+                self.start_write(
+                    sched,
+                    WriteOwner::ReduceOutput { attempt },
+                    file,
+                    block,
+                    bytes,
+                    targets,
+                    Some(node),
+                );
+            }
+            None => {
+                let notes = self
+                    .jt
+                    .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
+                self.handle_notes(sched, notes);
+            }
+        }
+    }
+
+    fn handle_notes(&mut self, sched: &mut Scheduler<'_, Event>, notes: Vec<JtNote>) {
+        for note in notes {
+            match note {
+                JtNote::KillAttempt { attempt, .. } => {
+                    self.cancel_attempt_work(sched, attempt);
+                }
+                JtNote::JobCompleted { job } => self.on_job_terminal(sched, job, true),
+                JtNote::JobFailed { job } => self.on_job_terminal(sched, job, false),
+            }
+        }
+    }
+
+    fn cancel_attempt_work(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
+        if let Some(ids) = self.attempt_flows.remove(&attempt) {
+            for fid in ids {
+                // The flow may belong to a pipeline write; abandon it.
+                if let Some(FlowCtx::PipeHead { write } | FlowCtx::PipeFan { write, .. }) =
+                    self.flows.get(&fid)
+                {
+                    self.writes.remove(write);
+                }
+                self.flows.remove(&fid);
+                self.net.cancel_flow(sched.now(), fid);
+            }
+        }
+        self.map_meta.remove(&attempt);
+        self.reduce_out.remove(&attempt);
+        self.arm_net(sched);
+    }
+
+    fn on_job_terminal(&mut self, sched: &mut Scheduler<'_, Event>, job: JobId, ok: bool) {
+        let Some(&idx) = self.job_of_schedule.get(&job) else {
+            return;
+        };
+        if self.job_results[idx].is_none() {
+            self.job_results[idx] = Some((sched.now(), ok));
+            self.finished_jobs += 1;
+            if self.finished_jobs == self.schedule.len() {
+                self.workload_end = Some(sched.now());
+                self.phase = RunPhase::Done;
+            }
+        }
+    }
+
+    fn on_submit_job(&mut self, sched: &mut Scheduler<'_, Event>, index: usize) {
+        let file = self.input_files[index];
+        let blocks = self.nn.blocks_of(file).to_vec();
+        let mut input_blocks = Vec::with_capacity(blocks.len());
+        let mut split_locations = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let meta = self.nn.block(b);
+            input_blocks.push((b, meta.size));
+            split_locations.push(meta.replicas.iter().copied().collect::<Vec<_>>());
+        }
+        let spec = &self.schedule[index];
+        let lg = &self.cfg.loadgen;
+        let submission = JobSubmission {
+            input_blocks,
+            split_locations,
+            reduces: spec.reduces,
+            map_cpu_secs: lg.map_cpu_secs(),
+            map_output_bytes: lg.map_output_bytes(),
+            reduce_cpu_secs: lg.reduce_cpu_secs(spec.maps, spec.reduces),
+            reduce_output_bytes: if spec.reduces == 0 {
+                0
+            } else {
+                lg.output_bytes(spec.maps) / spec.reduces as u64
+            },
+            output_replication: lg.output_replication,
+        };
+        let jid = self.jt.submit_job(sched.now(), submission, &self.topo);
+        self.job_of_schedule.insert(jid, index);
+        // A job whose input vanished entirely (zero blocks uploaded) can
+        // never run; terminal-fail it immediately.
+        if self.schedule[index].maps > 0 && self.jt.job(jid).spec.maps() == 0 {
+            self.job_results[index] = Some((sched.now(), false));
+            self.finished_jobs += 1;
+            if self.finished_jobs == self.schedule.len() {
+                self.workload_end = Some(sched.now());
+                self.phase = RunPhase::Done;
+            }
+        }
+    }
+
+    /// Elastic resize (§IV-C): growing submits more glidein requests;
+    /// shrinking removes queued requests first, then the newest workers.
+    fn on_resize_pool(&mut self, sched: &mut Scheduler<'_, Event>, delta: i64) {
+        let Some(mut grid) = self.grid.take() else {
+            return; // fixed clusters don't resize
+        };
+        let out = if delta >= 0 {
+            self.target_nodes += delta as usize;
+            grid.submit_workers(sched.now(), delta as usize)
+        } else {
+            let shrink = (-delta) as usize;
+            self.target_nodes = self.target_nodes.saturating_sub(shrink);
+            grid.remove_workers(sched.now(), shrink, &mut self.topo)
+        };
+        self.grid = Some(grid);
+        for (d, e) in out.defer {
+            sched.after(d, Event::Grid(e));
+        }
+        for note in out.notes {
+            match note {
+                GridNote::NodeStarted { node } => self.on_node_started(node, sched),
+                GridNote::NodeLost { node, reason } => self.on_node_lost(node, reason, sched),
+            }
+        }
+    }
+
+    /// One balancer iteration: plan moves toward mean utilisation and
+    /// execute them as copy-then-drop transfers.
+    fn on_balancer_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
+        let plan = hog_hdfs::balancer::plan(&self.nn, &self.topo, 0.10, 32);
+        for mv in plan.moves {
+            if !self.daemons_up.contains(&mv.src) || !self.node_usable(mv.dst) {
+                continue;
+            }
+            let fid = self.net.start_flow(sched.now(), mv.src, mv.dst, mv.bytes, 0);
+            self.flows.insert(
+                fid,
+                FlowCtx::Balancer {
+                    block: mv.block,
+                    src: mv.src,
+                    dst: mv.dst,
+                },
+            );
+        }
+        self.arm_net(sched);
+    }
+
+    fn on_master_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
+        // Namenode: death detection + replication orders.
+        let tick = self.nn.tick(sched.now(), &self.topo);
+        for ReplOrder {
+            block,
+            src,
+            dst,
+            bytes,
+        } in tick.orders
+        {
+            if self.nn.storage_failed(src) || !self.daemons_up.contains(&src) {
+                // Zombie or just-died source: the transfer fails fast.
+                self.nn.repl_done(block, src, dst, false);
+                continue;
+            }
+            if !self.daemons_up.contains(&dst) {
+                self.nn.repl_done(block, src, dst, false);
+                continue;
+            }
+            let fid = self.net.start_flow(sched.now(), src, dst, bytes, 0);
+            self.flows.insert(fid, FlowCtx::Repl { block, src, dst });
+        }
+        // JobTracker: dead trackers.
+        let (_dead, notes) = self.jt.check_dead(sched.now());
+        self.handle_notes(sched, notes);
+        // Series sampling (the Fig. 5 curves).
+        self.reported_series
+            .record(sched.now(), self.jt.reported_live() as f64);
+        let usable = self.daemons_up.len() - self.zombies.len();
+        self.actual_series.record(sched.now(), usable as f64);
+        // Adaptive replication (X9): scale durability with instability.
+        if let Some(ad) = &mut self.adaptive {
+            if let Some(factor) = ad.update(sched.now(), self.daemons_up.len().max(1)) {
+                self.nn.set_default_replication(factor);
+                let files = self.input_files.clone();
+                for f in files {
+                    self.nn.set_file_replication(f, factor);
+                }
+                self.adaptive_changes.push((sched.now(), factor));
+            }
+        }
+        self.arm_net(sched);
+        sched.after(self.cfg.hdfs.replication_monitor_interval, Event::MasterTick);
+    }
+}
+
+impl Model for Cluster {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::Grid(g) => {
+                let Some(mut grid) = self.grid.take() else {
+                    return;
+                };
+                let out = grid.handle(sched.now(), g, &mut self.topo);
+                self.grid = Some(grid);
+                for (d, e) in out.defer {
+                    sched.after(d, Event::Grid(e));
+                }
+                for note in out.notes {
+                    match note {
+                        GridNote::NodeStarted { node } => self.on_node_started(node, sched),
+                        GridNote::NodeLost { node, reason } => {
+                            self.on_node_lost(node, reason, sched)
+                        }
+                    }
+                }
+            }
+            Event::NetTick => {
+                let ends = self.net.advance(sched.now());
+                for end in ends {
+                    self.on_flow_end(sched, end);
+                }
+                self.arm_net(sched);
+            }
+            Event::MasterTick => self.on_master_tick(sched),
+            Event::Heartbeat { node } => {
+                if !self.daemons_up.contains(&node) {
+                    return; // daemon gone: heartbeats stop
+                }
+                let assignments = self.jt.heartbeat(sched.now(), node, &self.topo);
+                self.start_assignments(sched, node, assignments);
+                sched.after(self.cfg.mr.heartbeat_interval, Event::Heartbeat { node });
+            }
+            Event::DiskCheck { node } => {
+                if !self.daemons_up.contains(&node) {
+                    return;
+                }
+                if self.zombies.contains(&node) {
+                    // The self-check noticed the working directory is
+                    // gone: shut down cleanly (the paper's fix).
+                    self.shutdown_daemons(node, sched);
+                } else if let Some(d) = self.cfg.hdfs.disk_check_interval {
+                    sched.after(d, Event::DiskCheck { node });
+                }
+            }
+            Event::MapInputReady { attempt } => {
+                if !self.jt.attempt_active(attempt) {
+                    return;
+                }
+                let Some(meta) = self.map_meta.get(&attempt).copied() else {
+                    return;
+                };
+                if !self.daemons_up.contains(&meta.node) {
+                    return;
+                }
+                sched.after(
+                    SimDuration::from_secs_f64(meta.cpu_secs),
+                    Event::MapComputeDone { attempt },
+                );
+            }
+            Event::MapComputeDone { attempt } => self.on_map_compute_done(sched, attempt),
+            Event::MapSpillDone { attempt } => self.on_map_spill_done(sched, attempt),
+            Event::ReduceSortDone { attempt } => self.on_reduce_sort_done(sched, attempt),
+            Event::FetchTimeout { attempt, order } => {
+                if !self.jt.attempt_active(attempt) {
+                    return;
+                }
+                self.jt.fetch_failed(attempt, order, &self.topo);
+                self.drive_reduce(sched, attempt);
+            }
+            Event::AttemptDoomed { attempt, reason } => {
+                if !self.jt.attempt_active(attempt) {
+                    return;
+                }
+                let fr = match reason {
+                    DoomReason::Zombie => {
+                        self.counters.zombie_task_failures += 1;
+                        FailReason::ZombieNode
+                    }
+                    DoomReason::LostBlock => {
+                        self.counters.lost_block_failures += 1;
+                        FailReason::LostBlock
+                    }
+                };
+                let notes = self.jt.attempt_failed(sched.now(), attempt, fr);
+                self.handle_notes(sched, notes);
+            }
+            Event::SubmitJob { index } => self.on_submit_job(sched, index),
+            Event::PumpUpload => self.pump_upload(sched),
+            Event::ResizePool { delta } => self.on_resize_pool(sched, delta),
+            Event::BalancerTick => self.on_balancer_tick(sched),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.phase == RunPhase::Done
+    }
+}

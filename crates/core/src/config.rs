@@ -1,0 +1,312 @@
+//! Cluster configuration and the paper's two reference systems.
+
+use hog_grid::{GridParams, SiteConfig};
+use hog_hdfs::HdfsConfig;
+use hog_mapreduce::MrParams;
+use hog_net::NetParams;
+use hog_sim_core::units::GIB;
+use hog_sim_core::SimDuration;
+use hog_workload::LoadgenParams;
+
+/// Which block placement policy the namenode uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// HOG's site-aware policy (§III-B.1).
+    SiteAware,
+    /// Stock Hadoop rack-aware placement (dedicated cluster).
+    RackAware,
+    /// Topology-oblivious random placement (ablation X7).
+    RackOblivious,
+    /// MOON-style: first replica pinned to the named (dedicated) site.
+    AnchorFirst {
+        /// Name of the anchor site in the resource config.
+        site_name: String,
+    },
+}
+
+/// Where worker nodes come from.
+#[derive(Clone, Debug)]
+pub enum ResourceConfig {
+    /// Opportunistic glideins from the grid (HOG).
+    Grid {
+        /// Global grid parameters.
+        params: GridParams,
+        /// Participating sites.
+        sites: Vec<SiteConfig>,
+        /// Pool size to form before the workload starts (the paper's
+        /// x-axis in Figure 4).
+        target_nodes: usize,
+        /// `(map, reduce)` slots per glidein — `(1, 1)` in the paper,
+        /// since each glidein gets one core.
+        slots: (u8, u8),
+    },
+    /// A fixed set of dedicated nodes in one site (Table III).
+    Fixed {
+        /// Site name for the topology.
+        site_name: String,
+        /// DNS domain.
+        domain: String,
+        /// `(map_slots, reduce_slots)` per node, one entry per node.
+        nodes: Vec<(u8, u8)>,
+    },
+}
+
+impl ResourceConfig {
+    /// Number of workers this resource layer aims to provide.
+    pub fn target_nodes(&self) -> usize {
+        match self {
+            ResourceConfig::Grid { target_nodes, .. } => *target_nodes,
+            ResourceConfig::Fixed { nodes, .. } => nodes.len(),
+        }
+    }
+}
+
+/// The abandoned-datanode failure mode (§IV-D.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZombieConfig {
+    /// Whether preemptions can leave zombie daemons behind (HOG's *first
+    /// iteration*, before the process-tree fix).
+    pub enabled: bool,
+    /// Probability that a preemption double-forks into a zombie.
+    pub probability: f64,
+}
+
+impl ZombieConfig {
+    /// The fixed HOG: preemptions kill the whole process tree.
+    pub fn off() -> Self {
+        ZombieConfig {
+            enabled: false,
+            probability: 0.0,
+        }
+    }
+
+    /// First-iteration HOG: `p` of preemptions leave zombies.
+    pub fn on(p: f64) -> Self {
+        ZombieConfig {
+            enabled: true,
+            probability: p,
+        }
+    }
+}
+
+/// Everything needed to build a cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Label for reports.
+    pub name: String,
+    /// Master RNG seed; every stochastic stream forks from it.
+    pub seed: u64,
+    /// Network capacities/latencies.
+    pub net: NetParams,
+    /// HDFS settings.
+    pub hdfs: HdfsConfig,
+    /// MapReduce settings.
+    pub mr: MrParams,
+    /// Job cost model.
+    pub loadgen: LoadgenParams,
+    /// Worker provisioning.
+    pub resource: ResourceConfig,
+    /// Zombie-datanode mode.
+    pub zombie: ZombieConfig,
+    /// Placement policy.
+    pub placement: PlacementKind,
+    /// Input blocks staged concurrently during upload.
+    pub upload_parallel: usize,
+    /// Delay between a task failing on a zombie node and the failure
+    /// report reaching the JobTracker (models the doomed attempt's brief
+    /// lifetime).
+    pub zombie_fail_delay: SimDuration,
+    /// Retry backoff for shuffle fetches aimed at unusable sources.
+    pub fetch_retry_delay: SimDuration,
+    /// Adaptive replication (§VI future work, extension X9): when set to
+    /// `(min, max)`, a controller scales the replication factor with the
+    /// observed node-loss rate instead of pinning it at `hdfs.replication`.
+    pub adaptive_replication: Option<(u16, u16)>,
+}
+
+impl ClusterConfig {
+    /// The HOG system at a given pool size: five public-IP OSG sites,
+    /// replication 10, 30 s dead-node detection, site-aware placement,
+    /// zombie fix on, 1 map + 1 reduce slot per glidein.
+    pub fn hog(target_nodes: usize, seed: u64) -> Self {
+        let hdfs = HdfsConfig::hog().with_capacity(120 * GIB);
+        let loadgen = LoadgenParams {
+            output_replication: hdfs.replication,
+            ..LoadgenParams::calibrated()
+        };
+        ClusterConfig {
+            name: format!("hog-{target_nodes}"),
+            seed,
+            net: NetParams::grid_default(),
+            hdfs,
+            mr: MrParams::hog(),
+            loadgen,
+            resource: ResourceConfig::Grid {
+                params: GridParams::default(),
+                sites: hog_grid::config::paper_sites(),
+                target_nodes,
+                slots: (1, 1),
+            },
+            zombie: ZombieConfig::off(),
+            placement: PlacementKind::SiteAware,
+            upload_parallel: 8,
+            zombie_fail_delay: SimDuration::from_secs(2),
+            fetch_retry_delay: SimDuration::from_secs(15),
+            adaptive_replication: None,
+        }
+    }
+
+    /// The dedicated cluster of Table III: 20 nodes with 2 dual-core
+    /// Opteron-275s (4 map slots, 1 reduce slot) plus 10 nodes with 2
+    /// single-core Opterons (2 map slots, 1 reduce slot), 1 Gbps
+    /// Ethernet, stock Hadoop 0.20 (replication 3, rack awareness).
+    pub fn dedicated(seed: u64) -> Self {
+        let hdfs = HdfsConfig::stock();
+        let loadgen = LoadgenParams {
+            output_replication: hdfs.replication,
+            ..LoadgenParams::calibrated()
+        };
+        let mut nodes = vec![(4u8, 1u8); 20];
+        nodes.extend(vec![(2u8, 1u8); 10]);
+        ClusterConfig {
+            name: "dedicated-100-cores".to_string(),
+            seed,
+            net: NetParams::lan_default(),
+            hdfs,
+            mr: MrParams::stock(),
+            loadgen,
+            resource: ResourceConfig::Fixed {
+                site_name: "LOCAL".to_string(),
+                domain: "local.unl.edu".to_string(),
+                nodes,
+            },
+            zombie: ZombieConfig::off(),
+            placement: PlacementKind::RackAware,
+            upload_parallel: 8,
+            zombie_fail_delay: SimDuration::from_secs(2),
+            fetch_retry_delay: SimDuration::from_secs(15),
+            adaptive_replication: None,
+        }
+    }
+
+    /// Override every site's mean node lifetime (churn-pressure knob used
+    /// by the Figure 5 "unstable" run and several ablations).
+    pub fn with_mean_lifetime(mut self, mean: SimDuration) -> Self {
+        if let ResourceConfig::Grid { sites, .. } = &mut self.resource {
+            for s in sites.iter_mut() {
+                *s = s.clone().with_mean_lifetime(mean);
+            }
+        }
+        self
+    }
+
+    /// Override the replication factor (input and output alike).
+    pub fn with_replication(mut self, r: u16) -> Self {
+        self.hdfs.replication = r;
+        self.loadgen.output_replication = r;
+        self
+    }
+
+    /// Override both dead-node timeouts (namenode + jobtracker), ablation
+    /// X1.
+    pub fn with_dead_timeout(mut self, t: SimDuration) -> Self {
+        self.hdfs.dead_node_timeout = t;
+        self.mr.tracker_dead_timeout = t;
+        self
+    }
+
+    /// Override the placement policy (ablation X7).
+    pub fn with_placement(mut self, p: PlacementKind) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Enable zombie datanodes with probability `p`, and optionally the
+    /// disk-check fix (X3).
+    pub fn with_zombies(mut self, p: f64, disk_check: bool) -> Self {
+        self.zombie = ZombieConfig::on(p);
+        self.hdfs.disk_check_interval = disk_check.then(|| SimDuration::from_secs(180));
+        self
+    }
+
+    /// Multi-copy task execution (X6): run every task as `k` eager copies.
+    pub fn with_task_copies(mut self, k: u8, eager: bool) -> Self {
+        self.mr = self.mr.with_task_copies(k, eager);
+        self
+    }
+
+    /// Enable adaptive replication between `min` and `max` (extension X9,
+    /// paper §VI).
+    pub fn with_adaptive_replication(mut self, min: u16, max: u16) -> Self {
+        self.adaptive_replication = Some((min, max));
+        self
+    }
+
+    /// Rename (report labelling).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hog_preset_matches_paper() {
+        let c = ClusterConfig::hog(100, 1);
+        assert_eq!(c.hdfs.replication, 10);
+        assert_eq!(c.loadgen.output_replication, 10);
+        assert_eq!(c.hdfs.dead_node_timeout, SimDuration::from_secs(30));
+        assert_eq!(c.placement, PlacementKind::SiteAware);
+        match &c.resource {
+            ResourceConfig::Grid {
+                sites,
+                target_nodes,
+                slots,
+                ..
+            } => {
+                assert_eq!(sites.len(), 5);
+                assert_eq!(*target_nodes, 100);
+                assert_eq!(*slots, (1, 1));
+            }
+            _ => panic!("HOG runs on the grid"),
+        }
+    }
+
+    #[test]
+    fn dedicated_preset_matches_table3() {
+        let c = ClusterConfig::dedicated(1);
+        assert_eq!(c.hdfs.replication, 3);
+        assert_eq!(c.placement, PlacementKind::RackAware);
+        match &c.resource {
+            ResourceConfig::Fixed { nodes, .. } => {
+                assert_eq!(nodes.len(), 30);
+                let map_slots: u32 = nodes.iter().map(|&(m, _)| m as u32).sum();
+                let reduce_slots: u32 = nodes.iter().map(|&(_, r)| r as u32).sum();
+                assert_eq!(map_slots, 100, "1 map slot per core, 100 cores");
+                assert_eq!(reduce_slots, 30, "1 reduce slot per node");
+            }
+            _ => panic!("dedicated cluster is fixed"),
+        }
+        assert_eq!(c.resource.target_nodes(), 30);
+    }
+
+    #[test]
+    fn builders_cascade() {
+        let c = ClusterConfig::hog(50, 2)
+            .with_replication(5)
+            .with_dead_timeout(SimDuration::from_secs(600))
+            .with_placement(PlacementKind::RackOblivious)
+            .with_zombies(0.5, true)
+            .named("x");
+        assert_eq!(c.hdfs.replication, 5);
+        assert_eq!(c.loadgen.output_replication, 5);
+        assert_eq!(c.mr.tracker_dead_timeout, SimDuration::from_secs(600));
+        assert_eq!(c.placement, PlacementKind::RackOblivious);
+        assert!(c.zombie.enabled);
+        assert!(c.hdfs.disk_check_interval.is_some());
+        assert_eq!(c.name, "x");
+    }
+}

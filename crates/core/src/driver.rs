@@ -1,0 +1,237 @@
+//! Experiment driver: run one workload on one cluster configuration and
+//! collect the measurements the paper reports.
+
+use crate::cluster::{Cluster, ClusterCounters, RunPhase};
+use crate::config::ClusterConfig;
+use hog_mapreduce::jobtracker::JtCounters;
+use hog_sim_core::engine::StopReason;
+use hog_sim_core::metrics::StepSeries;
+use hog_sim_core::{SimDuration, SimTime, Simulation};
+use hog_workload::SubmissionSchedule;
+
+/// Outcome of one job of the workload.
+#[derive(Clone, Copy, Debug)]
+pub struct JobOutcome {
+    /// Index in the submission schedule.
+    pub index: usize,
+    /// Table I bin.
+    pub bin: u8,
+    /// Map / reduce task counts.
+    pub maps: u32,
+    /// Reduce task count.
+    pub reduces: u32,
+    /// Submission instant (absolute).
+    pub submitted: SimTime,
+    /// Completion instant, if it finished.
+    pub finished: Option<SimTime>,
+    /// Whether it succeeded (false = failed or unfinished at horizon).
+    pub succeeded: bool,
+}
+
+impl JobOutcome {
+    /// Job response time (completion − submission).
+    pub fn response(&self) -> Option<SimDuration> {
+        self.finished.map(|f| f.saturating_since(self.submitted))
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Config label.
+    pub name: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Workload response time: first submission → last job terminal.
+    /// `None` when the horizon cut the run short.
+    pub response_time: Option<SimDuration>,
+    /// Instant of the first submission.
+    pub workload_start: Option<SimTime>,
+    /// Per-job outcomes.
+    pub jobs: Vec<JobOutcome>,
+    /// Master-view node availability over time (Figure 5).
+    pub reported_series: StepSeries,
+    /// Actually-usable daemons over time.
+    pub actual_series: StepSeries,
+    /// Area beneath the reported curve over the workload window
+    /// (Table IV, node·seconds).
+    pub area_reported: f64,
+    /// JobTracker counters (locality, speculation, failures).
+    pub jt: JtCounters,
+    /// Namenode counters: (repl completed, repl failed, blocks lost,
+    /// bad-replica reports).
+    pub nn_counters: (u64, u64, u64, u64),
+    /// Missing blocks at the end of the run.
+    pub missing_blocks: usize,
+    /// Missing *input* blocks at the end of the run.
+    pub missing_input_blocks: usize,
+    /// Mediator counters.
+    pub cluster: ClusterCounters,
+    /// Grid counters: (preemptions, outages, node starts).
+    pub grid: Option<(u64, u64, u64)>,
+    /// Wall-clock of the simulation end.
+    pub end_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Why the run stopped.
+    pub stopped_early: bool,
+    /// Human-readable summaries of jobs that never reached a terminal
+    /// state (only populated when the horizon cut the run short).
+    pub stuck_jobs: Vec<String>,
+}
+
+impl RunResult {
+    /// Jobs that succeeded.
+    pub fn jobs_succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.succeeded).count()
+    }
+
+    /// Jobs that failed or never finished.
+    pub fn jobs_failed(&self) -> usize {
+        self.jobs.len() - self.jobs_succeeded()
+    }
+
+    /// Mean job response time in seconds over finished jobs.
+    pub fn mean_job_response_secs(&self) -> f64 {
+        let times: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.response().map(|d| d.as_secs_f64()))
+            .collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+}
+
+/// Default safety horizon for a single workload run (simulated time).
+pub const DEFAULT_HORIZON: SimDuration = SimDuration::from_secs(60 * 3600);
+
+/// Run `schedule` on a cluster built from `cfg`. The horizon bounds the
+/// *simulated* time (a safety net for pathological configurations — e.g.
+/// first-iteration HOG with zombies and no fix).
+pub fn run_workload(
+    cfg: ClusterConfig,
+    schedule: &SubmissionSchedule,
+    horizon: SimDuration,
+) -> RunResult {
+    run_workload_with_events(cfg, schedule, horizon, Vec::new())
+}
+
+/// Like [`run_workload`], but with extra operator actions injected at
+/// absolute instants — e.g. [`crate::event::Event::ResizePool`] to grow or
+/// shrink the glidein pool mid-run (§IV-C) or
+/// [`crate::event::Event::BalancerTick`] to rebalance HDFS afterwards.
+pub fn run_workload_with_events(
+    cfg: ClusterConfig,
+    schedule: &SubmissionSchedule,
+    horizon: SimDuration,
+    extra: Vec<(SimTime, crate::event::Event)>,
+) -> RunResult {
+    let name = cfg.name.clone();
+    let seed = cfg.seed;
+    let mut cluster = Cluster::new(cfg, schedule);
+    let mut sim = Simulation::new()
+        .with_horizon(SimTime::ZERO + horizon)
+        .with_event_budget(2_000_000_000);
+    cluster.bootstrap(&mut sim);
+    for (at, ev) in extra {
+        sim.schedule(at, ev);
+    }
+    let stats = sim.run(&mut cluster);
+
+    let workload_start = cluster.workload_start;
+    let response_time = match (workload_start, cluster.workload_end) {
+        (Some(s), Some(e)) => Some(e.saturating_since(s)),
+        _ => None,
+    };
+    let jobs: Vec<JobOutcome> = schedule
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let submitted =
+                workload_start.unwrap_or(SimTime::ZERO) + (spec.submit_at - SimTime::ZERO);
+            let (finished, succeeded) = match cluster.job_results[i] {
+                Some((t, ok)) => (Some(t), ok),
+                None => (None, false),
+            };
+            JobOutcome {
+                index: i,
+                bin: spec.bin,
+                maps: spec.maps,
+                reduces: spec.reduces,
+                submitted,
+                finished,
+                succeeded,
+            }
+        })
+        .collect();
+    let area = match (workload_start, cluster.workload_end) {
+        (Some(s), Some(e)) => cluster.reported_series.area(s, e),
+        _ => 0.0,
+    };
+    let grid = cluster
+        .grid()
+        .map(|g| (g.preemption_count(), g.outage_count(), g.node_start_count()));
+    let mut stuck_jobs = Vec::new();
+    for (i, r) in cluster.job_results.iter().enumerate() {
+        if r.is_some() {
+            continue;
+        }
+        if let Some(jid) = cluster.job_for_index(i) {
+            let j = cluster.jobtracker().job(jid);
+            let running_maps: usize = j.maps.iter().map(|t| t.running_attempts()).sum();
+            let running_reds: usize = j.reduces.iter().map(|t| t.running_attempts()).sum();
+            stuck_jobs.push(format!(
+                "job {i} (bin {}): maps {}/{} (pending {}, running {}), reduces {}/{} (pending {}, running {}), plans {}",
+                schedule.jobs()[i].bin,
+                j.maps_done,
+                j.spec.maps(),
+                j.pending_maps.len(),
+                running_maps,
+                j.reduces_done,
+                j.spec.reduces,
+                j.pending_reduces.len(),
+                running_reds,
+                j.reduce_plans.len(),
+            ));
+        } else {
+            stuck_jobs.push(format!("job {i}: never submitted"));
+        }
+    }
+    RunResult {
+        name,
+        seed,
+        response_time,
+        workload_start,
+        jobs,
+        area_reported: area,
+        jt: cluster.jobtracker().counters(),
+        nn_counters: cluster.namenode().counters(),
+        missing_blocks: cluster.namenode().missing_block_count(),
+        missing_input_blocks: cluster.missing_input_blocks(),
+        cluster: cluster.counters,
+        grid,
+        stuck_jobs,
+        end_time: stats.end_time,
+        events: stats.events_handled,
+        stopped_early: stats.stop != hog_sim_core::engine::StopReason::ModelFinished
+            && cluster.phase() != RunPhase::Done,
+        reported_series: cluster.reported_series,
+        actual_series: cluster.actual_series,
+    }
+}
+
+/// Convenience: assert a run finished (used by tests).
+pub fn assert_finished(r: &RunResult) {
+    assert!(
+        !r.stopped_early,
+        "run {} did not finish: {} jobs incomplete",
+        r.name,
+        r.jobs.len() - r.jobs.iter().filter(|j| j.finished.is_some()).count()
+    );
+    let _ = StopReason::ModelFinished;
+}

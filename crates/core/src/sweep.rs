@@ -1,0 +1,102 @@
+//! Parallel multi-run harness.
+//!
+//! Every simulation run is independent (its own RNG streams, its own
+//! world), so parameter sweeps — Figure 4 needs 12 pool sizes × 3 seeds —
+//! are embarrassingly parallel. Runs execute on crossbeam scoped threads;
+//! results land in submission order regardless of completion order.
+
+use crate::config::ClusterConfig;
+use crate::driver::{run_workload, RunResult};
+use hog_sim_core::SimDuration;
+use hog_workload::SubmissionSchedule;
+use parking_lot::Mutex;
+
+/// One sweep entry: a config plus the workload seed to replay.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Cluster configuration.
+    pub cfg: ClusterConfig,
+    /// Workload schedule seed.
+    pub workload_seed: u64,
+}
+
+/// One sweep entry with an explicit schedule (HOD-style single-job runs).
+#[derive(Clone)]
+pub struct SchedulePoint {
+    /// Cluster configuration.
+    pub cfg: ClusterConfig,
+    /// The exact schedule to replay.
+    pub schedule: SubmissionSchedule,
+}
+
+/// Run all `points`, `threads`-wide, preserving input order.
+pub fn run_sweep(points: Vec<SweepPoint>, horizon: SimDuration, threads: usize) -> Vec<RunResult> {
+    let points = points
+        .into_iter()
+        .map(|p| SchedulePoint {
+            cfg: p.cfg,
+            schedule: SubmissionSchedule::facebook_truncated(p.workload_seed),
+        })
+        .collect();
+    run_sweep_schedules(points, horizon, threads)
+}
+
+/// Run explicit `(config, schedule)` pairs, `threads`-wide, preserving
+/// input order.
+pub fn run_sweep_schedules(
+    points: Vec<SchedulePoint>,
+    horizon: SimDuration,
+    threads: usize,
+) -> Vec<RunResult> {
+    let threads = threads.max(1);
+    let n = points.len();
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<std::vec::IntoIter<(usize, SchedulePoint)>> =
+        Mutex::new(points.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let item = { work.lock().next() };
+                let Some((idx, point)) = item else { break };
+                let result = run_workload(point.cfg, &point.schedule, horizon);
+                results.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing sweep result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn sweep_preserves_order_and_runs_parallel() {
+        // Two tiny dedicated runs with different seeds.
+        let points = vec![
+            SweepPoint {
+                cfg: ClusterConfig::dedicated(1).named("a"),
+                workload_seed: 900,
+            },
+            SweepPoint {
+                cfg: ClusterConfig::dedicated(2).named("b"),
+                workload_seed: 900,
+            },
+        ];
+        // Tiny workload: replace the schedule inside run via seed — the
+        // full facebook schedule is heavy for a unit test, so this test
+        // only checks ordering using a short horizon.
+        let results = run_sweep(points, SimDuration::from_secs(120), 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "a");
+        assert_eq!(results[1].name, "b");
+    }
+}

@@ -1,0 +1,157 @@
+//! Grid and site configuration.
+
+use hog_sim_core::dist::{Exponential, UniformDuration};
+use hog_sim_core::units::MIB;
+use hog_sim_core::SimDuration;
+
+/// Per-site resource and failure characteristics.
+#[derive(Clone, Debug)]
+pub struct SiteConfig {
+    /// OSG resource name (`GLIDEIN_ResourceName`), e.g. `FNAL_FERMIGRID`.
+    pub name: String,
+    /// DNS domain for worker hostnames, e.g. `fnal.gov`.
+    pub domain: String,
+    /// Maximum concurrently running glideins the site will host.
+    pub max_slots: usize,
+    /// Whether worker nodes have public IPs. Hadoop peers must reach each
+    /// other directly, so HOG can only use public-IP sites; the glidein
+    /// matcher skips sites where this is false.
+    pub public_ip: bool,
+    /// Batch-queue wait before a matched glidein starts executing.
+    pub acquisition_delay: UniformDuration,
+    /// Distribution of a worker's lifetime until the site preempts it.
+    pub node_lifetime: Exponential,
+    /// Mean time between whole-site outages. `None` disables outages.
+    pub outage_mtbf: Option<Exponential>,
+    /// How long an outage lasts.
+    pub outage_duration: UniformDuration,
+    /// Effective rate (bytes/s) at which this site's workers fetch the
+    /// worker package from the central web repository.
+    pub package_download_rate: f64,
+}
+
+impl SiteConfig {
+    /// A stable, well-connected site: multi-hour mean lifetime, short
+    /// batch queue, no outages.
+    pub fn stable(name: &str, domain: &str, max_slots: usize) -> Self {
+        SiteConfig {
+            name: name.to_string(),
+            domain: domain.to_string(),
+            max_slots,
+            public_ip: true,
+            acquisition_delay: UniformDuration::new(
+                SimDuration::from_secs(20),
+                SimDuration::from_secs(120),
+            ),
+            node_lifetime: Exponential::from_mean(SimDuration::from_secs(12 * 3600)),
+            outage_mtbf: None,
+            outage_duration: UniformDuration::point(SimDuration::from_mins(10)),
+            package_download_rate: 20.0 * MIB as f64,
+        }
+    }
+
+    /// An unstable site: short mean lifetime (frequent preemption by
+    /// higher-priority users) and occasional site-wide outages.
+    pub fn unstable(name: &str, domain: &str, max_slots: usize) -> Self {
+        SiteConfig {
+            node_lifetime: Exponential::from_mean(SimDuration::from_secs(35 * 60)),
+            outage_mtbf: Some(Exponential::from_mean(SimDuration::from_secs(4 * 3600))),
+            outage_duration: UniformDuration::new(
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(20),
+            ),
+            ..Self::stable(name, domain, max_slots)
+        }
+    }
+
+    /// A NATed site (not usable by HOG; exists so tests can verify the
+    /// public-IP requirement is enforced).
+    pub fn nated(name: &str, domain: &str, max_slots: usize) -> Self {
+        SiteConfig {
+            public_ip: false,
+            ..Self::stable(name, domain, max_slots)
+        }
+    }
+
+    /// Override the mean node lifetime (preemption pressure knob).
+    pub fn with_mean_lifetime(mut self, mean: SimDuration) -> Self {
+        self.node_lifetime = Exponential::from_mean(mean);
+        self
+    }
+}
+
+/// Global grid parameters.
+#[derive(Clone, Debug)]
+pub struct GridParams {
+    /// Size of the compressed Hadoop worker package fetched from the
+    /// central repository (75 MB in the evaluation).
+    pub package_bytes: u64,
+    /// Fixed time for late-binding configuration + daemon startup after
+    /// unpacking (decompression is "trivial" per the paper; this covers
+    /// configuration rewriting and JVM startup).
+    pub configure_time: SimDuration,
+    /// Delay before a preempted Condor job re-enters the negotiation cycle
+    /// (`OnExitRemove = FALSE` requeue plus negotiator latency).
+    pub resubmit_delay: UniformDuration,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        GridParams {
+            package_bytes: 75 * MIB,
+            configure_time: SimDuration::from_secs(15),
+            resubmit_delay: UniformDuration::new(
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(90),
+            ),
+        }
+    }
+}
+
+/// The five public-IP OSG sites the paper's submit file pins
+/// (`requirements = GLIDEIN_ResourceName =?= ...`), with slot counts large
+/// enough to host the paper's biggest (1101-node) experiment.
+pub fn paper_sites() -> Vec<SiteConfig> {
+    vec![
+        SiteConfig::stable("FNAL_FERMIGRID", "fnal.gov", 400),
+        SiteConfig::stable("USCMS-FNAL-WC1", "wc1.fnal.gov", 350),
+        SiteConfig::stable("UCSDT2", "ucsd.edu", 250),
+        SiteConfig::stable("AGLT2", "aglt2.org", 250),
+        SiteConfig::stable("MIT_CMS", "mit.edu", 200),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sites_are_the_five_public_ones() {
+        let sites = paper_sites();
+        assert_eq!(sites.len(), 5);
+        assert!(sites.iter().all(|s| s.public_ip));
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"FNAL_FERMIGRID"));
+        assert!(names.contains(&"USCMS-FNAL-WC1"));
+        assert!(names.contains(&"UCSDT2"));
+        assert!(names.contains(&"AGLT2"));
+        assert!(names.contains(&"MIT_CMS"));
+        let total: usize = sites.iter().map(|s| s.max_slots).sum();
+        assert!(total >= 1101, "must be able to host the 1101-node run");
+    }
+
+    #[test]
+    fn unstable_sites_have_shorter_lifetimes() {
+        let s = SiteConfig::stable("a", "a.edu", 10);
+        let u = SiteConfig::unstable("b", "b.edu", 10);
+        assert!(u.node_lifetime.mean() < s.node_lifetime.mean());
+        assert!(u.outage_mtbf.is_some());
+        assert!(s.outage_mtbf.is_none());
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = GridParams::default();
+        assert_eq!(p.package_bytes, 75 * MIB);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hadoop Distributed File System (0.20-era) model.
+//!
+//! This crate models the pieces of HDFS whose behaviour the HOG paper
+//! depends on:
+//!
+//! * a **Namenode** ([`namenode::Namenode`]) holding the namespace, the
+//!   block→replica map, datanode liveness (heartbeat timeout — HOG lowers
+//!   it from ~10 minutes to 30 s), and the replication monitor that
+//!   re-replicates under-replicated blocks after node loss;
+//! * **datanode** accounting ([`datanode::DatanodeInfo`]): disk capacity,
+//!   hosted blocks, and the *zombie* failure mode from §IV-D.1 (daemon
+//!   alive and heartbeating, but its working directory was deleted by the
+//!   site's preemption — every read/write fails), plus the paper's fix
+//!   (periodic working-directory self-check → clean shutdown);
+//! * pluggable **block placement** ([`placement`]): HOG's site-aware
+//!   policy, stock rack-aware placement, and a rack-oblivious policy used
+//!   as the ablation baseline;
+//! * the **balancer** ([`balancer`]) the paper uses when growing the pool.
+//!
+//! Timing (how long a replication transfer takes, when heartbeats arrive)
+//! lives in the mediator (`hog-core`), which drives this crate's state
+//! machines and moves bytes through `hog-net`. That split keeps every
+//! decision here synchronous and unit-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balancer;
+pub mod config;
+pub mod datanode;
+pub mod namenode;
+pub mod placement;
+pub mod types;
+
+pub use config::HdfsConfig;
+pub use datanode::DatanodeInfo;
+pub use namenode::{Namenode, NamenodeTickOutput, ReplOrder};
+pub use placement::{
+    AnchorFirstPolicy, PlacementPolicy, RackAwarePolicy, RackObliviousPolicy, SiteAwarePolicy,
+};
+pub use types::{BlockId, BlockMeta, FileId, FileMeta};

@@ -1,0 +1,885 @@
+//! The Namenode: namespace, block map, datanode liveness, replication
+//! monitor and read/write path decisions.
+//!
+//! All methods are synchronous state transitions; the mediator in
+//! `hog-core` provides time (heartbeat timers, transfer durations). The
+//! liveness protocol mirrors HOG's:
+//!
+//! * while a worker runs, its datanode is `Live` (heartbeats are implicit);
+//! * when the grid preempts the worker, the mediator calls
+//!   [`Namenode::mark_silent`] — the node is still *believed* alive until
+//!   `dead_node_timeout` (30 s in HOG, ~10 min stock) passes;
+//! * a **zombie** (double-forked daemon that survived preemption, §IV-D.1)
+//!   instead stays `Live` with `storage_failed = true`: the namenode keeps
+//!   trusting it, reads and re-replications sourced from it fail, and only
+//!   the periodic disk self-check (the paper's fix) turns it silent;
+//! * [`Namenode::tick`] declares overdue nodes dead, strips their replicas
+//!   and queues re-replication work, which it dispatches subject to
+//!   per-node stream limits.
+
+use crate::config::HdfsConfig;
+use crate::datanode::{DatanodeInfo, DnLiveness};
+use crate::placement::{Candidate, PlacementPolicy};
+use crate::types::{BlockId, BlockMeta, FileId, FileMeta};
+use hog_net::{NodeId, Topology};
+use hog_sim_core::metrics::Counter;
+use hog_sim_core::{SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A replication transfer the namenode wants executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplOrder {
+    /// Block to copy.
+    pub block: BlockId,
+    /// Source replica holder.
+    pub src: NodeId,
+    /// Destination datanode.
+    pub dst: NodeId,
+    /// Bytes to move.
+    pub bytes: u64,
+}
+
+/// Output of one namenode tick.
+#[derive(Clone, Debug, Default)]
+pub struct NamenodeTickOutput {
+    /// Datanodes declared dead this tick.
+    pub newly_dead: Vec<NodeId>,
+    /// Replication transfers to start.
+    pub orders: Vec<ReplOrder>,
+}
+
+/// The HDFS master. See the module docs for the liveness protocol.
+pub struct Namenode {
+    cfg: HdfsConfig,
+    policy: Box<dyn PlacementPolicy>,
+    files_by_path: HashMap<String, FileId>,
+    files: Vec<FileMeta>,
+    blocks: Vec<BlockMeta>,
+    datanodes: BTreeMap<NodeId, DatanodeInfo>,
+    /// Blocks below their replication target.
+    needs_repl: BTreeSet<BlockId>,
+    /// In-flight replication targets per block (counted against deficit).
+    pending_repl: HashMap<BlockId, Vec<NodeId>>,
+    rng: SimRng,
+    repl_completed: Counter,
+    repl_failed: Counter,
+    blocks_lost: Counter,
+    bad_replica_reports: Counter,
+}
+
+impl Namenode {
+    /// A namenode with the given config and placement policy.
+    pub fn new(cfg: HdfsConfig, policy: Box<dyn PlacementPolicy>, rng: SimRng) -> Self {
+        Namenode {
+            cfg,
+            policy,
+            files_by_path: HashMap::new(),
+            files: Vec::new(),
+            blocks: Vec::new(),
+            datanodes: BTreeMap::new(),
+            needs_repl: BTreeSet::new(),
+            pending_repl: HashMap::new(),
+            rng,
+            repl_completed: Counter::new(),
+            repl_failed: Counter::new(),
+            blocks_lost: Counter::new(),
+            bad_replica_reports: Counter::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HdfsConfig {
+        &self.cfg
+    }
+
+    /// Swap the block placement policy (used when the policy needs
+    /// topology knowledge only available after site registration, e.g.
+    /// the MOON anchor site).
+    pub fn set_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Change the default replication factor for files created from now
+    /// on (the adaptive-replication extension of paper §VI: scale
+    /// durability with observed grid instability). Existing files keep
+    /// their factor.
+    pub fn set_default_replication(&mut self, r: u16) {
+        self.cfg.replication = r.max(1);
+    }
+
+    /// Retarget the replication factor of an *existing* file's blocks.
+    /// Raising it queues re-replication; lowering it only stops future
+    /// repairs (excess replicas are not actively deleted — Hadoop's
+    /// `setrep -w` semantics minus the wait).
+    pub fn set_file_replication(&mut self, file: FileId, r: u16) {
+        let r = r.max(1);
+        self.files[file.0 as usize].replication = r;
+        let blocks = self.files[file.0 as usize].blocks.clone();
+        for b in blocks {
+            let meta = &mut self.blocks[b.0 as usize];
+            if meta.expected == 0 {
+                continue; // abandoned block
+            }
+            meta.expected = r;
+            if meta.deficit() > 0 {
+                self.needs_repl.insert(b);
+            } else {
+                self.needs_repl.remove(&b);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Datanode liveness
+    // ------------------------------------------------------------------
+
+    /// A new datanode reported in (worker started).
+    pub fn register_datanode(&mut self, now: SimTime, node: NodeId) {
+        self.datanodes
+            .insert(node, DatanodeInfo::new(self.cfg.datanode_capacity, now));
+    }
+
+    /// The worker vanished cleanly: heartbeats stop now; death is declared
+    /// after the timeout.
+    pub fn mark_silent(&mut self, now: SimTime, node: NodeId) {
+        if let Some(dn) = self.datanodes.get_mut(&node) {
+            if dn.liveness == DnLiveness::Live {
+                dn.liveness = DnLiveness::Silent;
+                dn.last_heartbeat = now;
+            }
+        }
+    }
+
+    /// The worker was preempted but its daemon survived outside the killed
+    /// process tree: heartbeats continue while storage is gone.
+    pub fn mark_storage_failed(&mut self, node: NodeId) {
+        if let Some(dn) = self.datanodes.get_mut(&node) {
+            dn.storage_failed = true;
+        }
+    }
+
+    /// Whether the node's storage has failed (zombie). The *mediator* uses
+    /// this to fail reads/writes; the namenode itself never consults it —
+    /// zombies look healthy to it, which is the point of §IV-D.1.
+    pub fn storage_failed(&self, node: NodeId) -> bool {
+        self.datanodes.get(&node).is_some_and(|d| d.storage_failed)
+    }
+
+    /// Periodic tick: declare overdue silent nodes dead and dispatch
+    /// replication work.
+    pub fn tick(&mut self, now: SimTime, topo: &Topology) -> NamenodeTickOutput {
+        let mut out = NamenodeTickOutput::default();
+        // 1. Death detection.
+        let overdue: Vec<NodeId> = self
+            .datanodes
+            .iter()
+            .filter(|(_, dn)| {
+                dn.liveness == DnLiveness::Silent
+                    && now.saturating_since(dn.last_heartbeat) >= self.cfg.dead_node_timeout
+            })
+            .map(|(&n, _)| n)
+            .collect();
+        for node in overdue {
+            self.declare_dead(node);
+            out.newly_dead.push(node);
+        }
+        // 2. Replication monitor.
+        out.orders = self.dispatch_replication(topo);
+        out
+    }
+
+    fn declare_dead(&mut self, node: NodeId) {
+        let Some(dn) = self.datanodes.get_mut(&node) else {
+            return;
+        };
+        dn.liveness = DnLiveness::Dead;
+        let hosted: Vec<BlockId> = dn.blocks.iter().copied().collect();
+        dn.blocks.clear();
+        dn.used = 0;
+        for b in hosted {
+            let meta = &mut self.blocks[b.0 as usize];
+            meta.replicas.remove(&node);
+            if meta.is_missing() {
+                self.blocks_lost.incr();
+            }
+            if meta.deficit() > 0 {
+                self.needs_repl.insert(b);
+            }
+        }
+    }
+
+    /// Number of datanodes the namenode currently believes alive (`Live`
+    /// or `Silent`-within-timeout) — the "reported nodes" curve of Fig. 5.
+    pub fn reported_live(&self) -> usize {
+        self.datanodes
+            .values()
+            .filter(|d| d.liveness != DnLiveness::Dead)
+            .count()
+    }
+
+    /// Number of datanodes heartbeating right now.
+    pub fn live_count(&self) -> usize {
+        self.datanodes
+            .values()
+            .filter(|d| d.liveness == DnLiveness::Live)
+            .count()
+    }
+
+    /// Whether the namenode currently believes `node` usable.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.datanodes
+            .get(&node)
+            .is_some_and(|d| d.liveness == DnLiveness::Live)
+    }
+
+    /// Inspect a datanode record.
+    pub fn datanode(&self, node: NodeId) -> Option<&DatanodeInfo> {
+        self.datanodes.get(&node)
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace & write path
+    // ------------------------------------------------------------------
+
+    /// Create an (empty, incomplete) file with the given replication.
+    /// Panics if the path exists — experiment drivers own unique naming.
+    pub fn create_file(&mut self, path: impl Into<String>, replication: u16) -> FileId {
+        let path = path.into();
+        assert!(
+            !self.files_by_path.contains_key(&path),
+            "file exists: {path}"
+        );
+        let id = FileId(self.files.len() as u32);
+        self.files_by_path.insert(path.clone(), id);
+        self.files.push(FileMeta {
+            path,
+            blocks: Vec::new(),
+            replication,
+            complete: false,
+        });
+        id
+    }
+
+    /// Create a file with the config's default replication.
+    pub fn create_file_default(&mut self, path: impl Into<String>) -> FileId {
+        let r = self.cfg.replication;
+        self.create_file(path, r)
+    }
+
+    /// Allocate the next block of `file` and choose its replica pipeline.
+    /// Returns `None` when no datanode can accept the block (cluster too
+    /// small/full) — the caller retries later.
+    pub fn allocate_block(
+        &mut self,
+        file: FileId,
+        size: u64,
+        writer: Option<NodeId>,
+        topo: &Topology,
+    ) -> Option<(BlockId, Vec<NodeId>)> {
+        self.allocate_block_excluding(file, size, writer, &BTreeSet::new(), topo)
+    }
+
+    /// Like [`Namenode::allocate_block`], excluding datanodes the writing
+    /// client has already seen fail (HDFS clients carry an excluded-nodes
+    /// list across pipeline retries — without it, a zombie datanode that
+    /// stays "emptiest" would be re-chosen as pipeline head forever).
+    pub fn allocate_block_excluding(
+        &mut self,
+        file: FileId,
+        size: u64,
+        writer: Option<NodeId>,
+        exclude: &BTreeSet<NodeId>,
+        topo: &Topology,
+    ) -> Option<(BlockId, Vec<NodeId>)> {
+        let repl = self.files[file.0 as usize].replication;
+        let candidates = self.candidates(size, exclude, topo);
+        if candidates.is_empty() {
+            return None;
+        }
+        let targets = self
+            .policy
+            .choose(writer, repl as usize, &[], &candidates, &mut self.rng);
+        if targets.is_empty() {
+            return None;
+        }
+        let id = BlockId(self.blocks.len() as u64);
+        self.blocks.push(BlockMeta {
+            file,
+            size,
+            replicas: BTreeSet::new(),
+            expected: repl,
+        });
+        self.files[file.0 as usize].blocks.push(id);
+        Some((id, targets))
+    }
+
+    /// The pipeline finished: record which targets actually hold the block.
+    /// Fewer than `expected` enqueues re-replication.
+    pub fn commit_block(&mut self, block: BlockId, written: &[NodeId]) {
+        let size = self.blocks[block.0 as usize].size;
+        for &n in written {
+            if let Some(dn) = self.datanodes.get_mut(&n) {
+                if dn.liveness != DnLiveness::Dead {
+                    dn.add_block(block, size);
+                    self.blocks[block.0 as usize].replicas.insert(n);
+                }
+            }
+        }
+        let meta = &self.blocks[block.0 as usize];
+        if meta.is_missing() {
+            self.blocks_lost.incr();
+        }
+        if meta.deficit() > 0 {
+            self.needs_repl.insert(block);
+        }
+    }
+
+    /// Mark the file complete (write-once-read-many).
+    pub fn complete_file(&mut self, file: FileId) {
+        self.files[file.0 as usize].complete = true;
+    }
+
+    /// Abandon an allocated block whose write failed: drop it from its
+    /// file, free any partial replicas, and stop tracking it for
+    /// replication. The file simply ends up shorter.
+    pub fn abandon_block(&mut self, block: BlockId) {
+        let meta = &mut self.blocks[block.0 as usize];
+        let size = meta.size;
+        meta.expected = 0;
+        let replicas = std::mem::take(&mut meta.replicas);
+        let file = meta.file;
+        for n in replicas {
+            if let Some(dn) = self.datanodes.get_mut(&n) {
+                dn.remove_block(block, size);
+            }
+        }
+        self.needs_repl.remove(&block);
+        self.pending_repl.remove(&block);
+        self.files[file.0 as usize].blocks.retain(|&b| b != block);
+    }
+
+    /// Delete a file: every replica of every block is dropped immediately.
+    pub fn delete_file(&mut self, path: &str) {
+        let Some(id) = self.files_by_path.remove(path) else {
+            return;
+        };
+        let blocks = std::mem::take(&mut self.files[id.0 as usize].blocks);
+        for b in blocks {
+            let size = self.blocks[b.0 as usize].size;
+            let replicas = std::mem::take(&mut self.blocks[b.0 as usize].replicas);
+            for n in replicas {
+                if let Some(dn) = self.datanodes.get_mut(&n) {
+                    dn.remove_block(b, size);
+                }
+            }
+            self.needs_repl.remove(&b);
+            self.pending_repl.remove(&b);
+            // Expected 0 so the block never re-enters the repl queue.
+            self.blocks[b.0 as usize].expected = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Choose the replica a reader should fetch `block` from: the reader's
+    /// own datanode, else a same-site replica, else any replica (random).
+    /// Returns `None` for a missing block.
+    pub fn pick_read_source(
+        &mut self,
+        block: BlockId,
+        reader: NodeId,
+        topo: &Topology,
+    ) -> Option<NodeId> {
+        let meta = &self.blocks[block.0 as usize];
+        // Only consider replicas on nodes the namenode believes usable.
+        let usable: Vec<NodeId> = meta
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| self.is_live(*n))
+            .collect();
+        if usable.is_empty() {
+            return None;
+        }
+        if usable.contains(&reader) {
+            return Some(reader);
+        }
+        let reader_site = topo.site_of(reader);
+        let same_site: Vec<NodeId> = usable
+            .iter()
+            .copied()
+            .filter(|&n| topo.site_of(n) == reader_site)
+            .collect();
+        if !same_site.is_empty() {
+            return Some(*self.rng.choose(&same_site));
+        }
+        Some(*self.rng.choose(&usable))
+    }
+
+    /// A reader found the replica unusable (zombie node, checksum error):
+    /// invalidate it and queue re-replication.
+    pub fn report_bad_replica(&mut self, block: BlockId, node: NodeId) {
+        self.bad_replica_reports.incr();
+        let size = self.blocks[block.0 as usize].size;
+        if self.blocks[block.0 as usize].replicas.remove(&node) {
+            if let Some(dn) = self.datanodes.get_mut(&node) {
+                dn.remove_block(block, size);
+            }
+            let meta = &self.blocks[block.0 as usize];
+            if meta.is_missing() {
+                self.blocks_lost.incr();
+            }
+            if meta.deficit() > 0 {
+                self.needs_repl.insert(block);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication monitor
+    // ------------------------------------------------------------------
+
+    /// Eligible targets for `size` more bytes, excluding `exclude`.
+    fn candidates(&self, size: u64, exclude: &BTreeSet<NodeId>, topo: &Topology) -> Vec<Candidate> {
+        self.datanodes
+            .iter()
+            .filter(|(n, dn)| dn.can_accept(size) && !exclude.contains(n))
+            .map(|(&n, dn)| Candidate {
+                node: n,
+                site: topo.site_of(n),
+                free: dn.free(),
+            })
+            .collect()
+    }
+
+    /// Issue replication orders for under-replicated blocks, most-critical
+    /// (fewest live replicas) first, bounded by per-node stream limits and
+    /// the per-tick order budget.
+    fn dispatch_replication(&mut self, topo: &Topology) -> Vec<ReplOrder> {
+        if self.needs_repl.is_empty() {
+            return Vec::new();
+        }
+        // Priority: fewest replicas first (Hadoop's priority queues).
+        let mut queue: Vec<BlockId> = self.needs_repl.iter().copied().collect();
+        queue.sort_by_key(|b| self.blocks[b.0 as usize].replicas.len());
+        let mut orders = Vec::new();
+        for b in queue {
+            if orders.len() >= self.cfg.max_repl_orders_per_tick {
+                break;
+            }
+            let meta = &self.blocks[b.0 as usize];
+            let pending = self.pending_repl.get(&b).map_or(0, |v| v.len());
+            let deficit = meta.deficit().saturating_sub(pending);
+            if deficit == 0 {
+                if pending == 0 {
+                    // Fully satisfied meanwhile.
+                    self.needs_repl.remove(&b);
+                }
+                continue;
+            }
+            let size = meta.size;
+            // A source: live replica holder with stream budget. Zombies
+            // qualify — the namenode cannot tell (transfer will fail).
+            let srcs: Vec<NodeId> = meta
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| {
+                    self.is_live(*n)
+                        && self.datanodes[n].repl_streams < self.cfg.max_repl_streams_per_node
+                })
+                .collect();
+            if srcs.is_empty() {
+                continue; // nothing usable yet; retry next tick
+            }
+            for _ in 0..deficit {
+                if orders.len() >= self.cfg.max_repl_orders_per_tick {
+                    break;
+                }
+                let src = *self.rng.choose(&srcs);
+                if self.datanodes[&src].repl_streams >= self.cfg.max_repl_streams_per_node {
+                    break;
+                }
+                // Exclude existing replicas and in-flight targets.
+                let mut exclude: BTreeSet<NodeId> =
+                    self.blocks[b.0 as usize].replicas.iter().copied().collect();
+                if let Some(p) = self.pending_repl.get(&b) {
+                    exclude.extend(p.iter().copied());
+                }
+                let cands: Vec<Candidate> = self
+                    .candidates(size, &exclude, topo)
+                    .into_iter()
+                    .filter(|c| {
+                        self.datanodes[&c.node].repl_streams < self.cfg.max_repl_streams_per_node
+                    })
+                    .collect();
+                let existing: Vec<(NodeId, hog_net::SiteId)> = self.blocks[b.0 as usize]
+                    .replicas
+                    .iter()
+                    .map(|&n| (n, topo.site_of(n)))
+                    .collect();
+                let targets = self.policy.choose(None, 1, &existing, &cands, &mut self.rng);
+                let Some(&dst) = targets.first() else { break };
+                self.datanodes.get_mut(&src).unwrap().repl_streams += 1;
+                self.datanodes.get_mut(&dst).unwrap().repl_streams += 1;
+                self.pending_repl.entry(b).or_default().push(dst);
+                orders.push(ReplOrder {
+                    block: b,
+                    src,
+                    dst,
+                    bytes: size,
+                });
+            }
+        }
+        orders
+    }
+
+    /// A replication transfer finished (or failed / was killed).
+    pub fn repl_done(&mut self, block: BlockId, src: NodeId, dst: NodeId, success: bool) {
+        if let Some(dn) = self.datanodes.get_mut(&src) {
+            dn.repl_streams = dn.repl_streams.saturating_sub(1);
+        }
+        if let Some(dn) = self.datanodes.get_mut(&dst) {
+            dn.repl_streams = dn.repl_streams.saturating_sub(1);
+        }
+        if let Some(p) = self.pending_repl.get_mut(&block) {
+            if let Some(pos) = p.iter().position(|&n| n == dst) {
+                p.swap_remove(pos);
+            }
+            if p.is_empty() {
+                self.pending_repl.remove(&block);
+            }
+        }
+        if success {
+            self.repl_completed.incr();
+            let size = self.blocks[block.0 as usize].size;
+            if let Some(dn) = self.datanodes.get_mut(&dst) {
+                if dn.liveness != DnLiveness::Dead {
+                    dn.add_block(block, size);
+                    self.blocks[block.0 as usize].replicas.insert(dst);
+                }
+            }
+            if self.blocks[block.0 as usize].deficit() == 0 {
+                self.needs_repl.remove(&block);
+            }
+        } else {
+            self.repl_failed.incr();
+            // Stays (or re-enters) the queue if still deficient.
+            if self.blocks[block.0 as usize].deficit() > 0 {
+                self.needs_repl.insert(block);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries & metrics
+    // ------------------------------------------------------------------
+
+    /// Resolve a path.
+    pub fn file_by_path(&self, path: &str) -> Option<FileId> {
+        self.files_by_path.get(path).copied()
+    }
+
+    /// File metadata.
+    pub fn file(&self, id: FileId) -> &FileMeta {
+        &self.files[id.0 as usize]
+    }
+
+    /// Block metadata.
+    pub fn block(&self, id: BlockId) -> &BlockMeta {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Blocks of a file, in order.
+    pub fn blocks_of(&self, file: FileId) -> &[BlockId] {
+        &self.files[file.0 as usize].blocks
+    }
+
+    /// Count of blocks currently under-replicated.
+    pub fn under_replicated_count(&self) -> usize {
+        self.needs_repl.len()
+    }
+
+    /// Count of blocks with zero live replicas right now.
+    pub fn missing_block_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| b.expected > 0 && b.is_missing())
+            .count()
+    }
+
+    /// Lifetime counters: completed and failed replication transfers,
+    /// block-loss events, bad-replica reports.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.repl_completed.get(),
+            self.repl_failed.get(),
+            self.blocks_lost.get(),
+            self.bad_replica_reports.get(),
+        )
+    }
+
+    /// Total bytes stored across live datanodes.
+    pub fn total_used(&self) -> u64 {
+        self.datanodes
+            .values()
+            .filter(|d| d.liveness != DnLiveness::Dead)
+            .map(|d| d.used)
+            .sum()
+    }
+
+    /// All datanodes and their records (for the balancer and reports).
+    pub fn datanodes(&self) -> impl Iterator<Item = (NodeId, &DatanodeInfo)> {
+        self.datanodes.iter().map(|(&n, d)| (n, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::SiteAwarePolicy;
+
+    /// 3 sites × `per_site` nodes, all registered as datanodes at t=0.
+    fn setup(per_site: u32, cfg: HdfsConfig) -> (Namenode, Topology, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let mut nodes = Vec::new();
+        for s in 0..3 {
+            let site = topo.add_site(format!("S{s}"), format!("s{s}.edu"));
+            for _ in 0..per_site {
+                nodes.push(topo.add_node(site));
+            }
+        }
+        let mut nn = Namenode::new(cfg, Box::new(SiteAwarePolicy), SimRng::seed_from_u64(11));
+        for &n in &nodes {
+            nn.register_datanode(SimTime::ZERO, n);
+        }
+        (nn, topo, nodes)
+    }
+
+    fn write_file(
+        nn: &mut Namenode,
+        topo: &Topology,
+        path: &str,
+        blocks: usize,
+        block_size: u64,
+    ) -> FileId {
+        let f = nn.create_file_default(path);
+        for _ in 0..blocks {
+            let (b, targets) = nn.allocate_block(f, block_size, None, topo).unwrap();
+            nn.commit_block(b, &targets);
+        }
+        nn.complete_file(f);
+        f
+    }
+
+    #[test]
+    fn write_and_read_round_trip() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 5, 64 << 20);
+        assert_eq!(nn.blocks_of(f).len(), 5);
+        let blocks: Vec<BlockId> = nn.blocks_of(f).to_vec();
+        for b in blocks {
+            assert_eq!(nn.block(b).replicas.len(), 3);
+            let src = nn.pick_read_source(b, nodes[0], &topo).unwrap();
+            assert!(nn.block(b).replicas.contains(&src));
+        }
+        assert_eq!(nn.under_replicated_count(), 0);
+    }
+
+    #[test]
+    fn read_prefers_local_then_site() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 1, 1024);
+        let b = nn.blocks_of(f)[0];
+        let holder = *nn.block(b).replicas.iter().next().unwrap();
+        // Local read.
+        assert_eq!(nn.pick_read_source(b, holder, &topo), Some(holder));
+        // Same-site read when the reader isn't a holder.
+        let reader = nodes
+            .iter()
+            .copied()
+            .find(|&n| !nn.block(b).replicas.contains(&n))
+            .unwrap();
+        let reader_site = topo.site_of(reader);
+        let src = nn.pick_read_source(b, reader, &topo).unwrap();
+        let has_same_site = nn
+            .block(b)
+            .replicas
+            .iter()
+            .any(|&r| topo.site_of(r) == reader_site);
+        if has_same_site {
+            assert_eq!(topo.site_of(src), reader_site);
+        }
+    }
+
+    #[test]
+    fn silent_nodes_die_after_timeout_and_rereplication_kicks_in() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 4, 64 << 20);
+        let victim = *nn.block(nn.blocks_of(f)[0]).replicas.iter().next().unwrap();
+        nn.mark_silent(SimTime::from_secs(100), victim);
+        // Before the timeout nothing happens.
+        let out = nn.tick(SimTime::from_secs(110), &topo);
+        assert!(out.newly_dead.is_empty());
+        assert_eq!(nn.reported_live(), nodes.len());
+        // After 30 s it is declared dead and repl orders flow.
+        let out = nn.tick(SimTime::from_secs(131), &topo);
+        assert_eq!(out.newly_dead, vec![victim]);
+        assert_eq!(nn.reported_live(), nodes.len() - 1);
+        assert!(!out.orders.is_empty(), "under-replicated blocks need work");
+        for o in &out.orders {
+            assert_ne!(o.src, victim);
+            assert_ne!(o.dst, victim);
+            assert!(nn.block(o.block).replicas.contains(&o.src));
+        }
+        // Completing the orders restores full replication.
+        let orders = out.orders.clone();
+        for o in orders {
+            nn.repl_done(o.block, o.src, o.dst, true);
+        }
+        // May need more ticks if stream limits staggered the work.
+        for i in 0..20 {
+            let out = nn.tick(SimTime::from_secs(140 + i), &topo);
+            for o in out.orders {
+                nn.repl_done(o.block, o.src, o.dst, true);
+            }
+        }
+        assert_eq!(nn.under_replicated_count(), 0);
+        assert_eq!(nn.missing_block_count(), 0);
+    }
+
+    #[test]
+    fn stock_timeout_is_slow() {
+        let cfg = HdfsConfig::stock();
+        let (mut nn, topo, _) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 1, 1024);
+        let victim = *nn.block(nn.blocks_of(f)[0]).replicas.iter().next().unwrap();
+        nn.mark_silent(SimTime::from_secs(0), victim);
+        let out = nn.tick(SimTime::from_secs(600), &topo);
+        assert!(out.newly_dead.is_empty(), "stock waits ~10.5 min");
+        let out = nn.tick(SimTime::from_secs(631), &topo);
+        assert_eq!(out.newly_dead, vec![victim]);
+    }
+
+    #[test]
+    fn losing_all_replicas_counts_missing_blocks() {
+        let cfg = HdfsConfig::hog().with_replication(2);
+        let (mut nn, topo, _) = setup(1, cfg); // 3 nodes total
+        let f = write_file(&mut nn, &topo, "/in/a", 2, 1024);
+        let holders: Vec<NodeId> = nn.block(nn.blocks_of(f)[0]).replicas.iter().copied().collect();
+        for h in &holders {
+            nn.mark_silent(SimTime::ZERO, *h);
+        }
+        nn.tick(SimTime::from_secs(31), &topo);
+        assert!(nn.missing_block_count() >= 1);
+        let (_, _, lost, _) = nn.counters();
+        assert!(lost >= 1);
+    }
+
+    #[test]
+    fn zombie_keeps_reporting_but_reads_fail_and_heal() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 1, 1024);
+        let b = nn.blocks_of(f)[0];
+        let zombie = *nn.block(b).replicas.iter().next().unwrap();
+        nn.mark_storage_failed(zombie);
+        // Zombie still looks alive.
+        nn.tick(SimTime::from_secs(120), &topo);
+        assert!(nn.is_live(zombie));
+        assert!(nn.storage_failed(zombie));
+        // A reader hits it, fails, reports: the replica is invalidated.
+        nn.report_bad_replica(b, zombie);
+        assert!(!nn.block(b).replicas.contains(&zombie));
+        assert_eq!(nn.under_replicated_count(), 1);
+        // Re-replication restores 3 replicas elsewhere.
+        for i in 0..10 {
+            let out = nn.tick(SimTime::from_secs(130 + i), &topo);
+            for o in out.orders {
+                nn.repl_done(o.block, o.src, o.dst, true);
+            }
+        }
+        assert_eq!(nn.block(b).replicas.len(), 3);
+        let _ = nodes;
+    }
+
+    #[test]
+    fn partial_pipeline_commit_queues_repair() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, _) = setup(4, cfg);
+        let f = nn.create_file_default("/in/a");
+        let (b, targets) = nn.allocate_block(f, 1024, None, &topo).unwrap();
+        assert_eq!(targets.len(), 3);
+        nn.commit_block(b, &targets[..2]); // one pipeline member failed
+        assert_eq!(nn.under_replicated_count(), 1);
+        let out = nn.tick(SimTime::from_secs(1), &topo);
+        assert_eq!(out.orders.len(), 1);
+    }
+
+    #[test]
+    fn delete_file_frees_space_and_cancels_repair() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, _) = setup(4, cfg);
+        write_file(&mut nn, &topo, "/in/a", 3, 1 << 20);
+        assert!(nn.total_used() > 0);
+        nn.delete_file("/in/a");
+        assert_eq!(nn.total_used(), 0);
+        assert_eq!(nn.under_replicated_count(), 0);
+        assert!(nn.file_by_path("/in/a").is_none());
+    }
+
+    #[test]
+    fn allocation_fails_gracefully_when_full() {
+        let cfg = HdfsConfig::hog().with_replication(3).with_capacity(1000);
+        let (mut nn, topo, _) = setup(1, cfg);
+        let f = nn.create_file_default("/big");
+        // First block fits.
+        let (b, t) = nn.allocate_block(f, 900, None, &topo).unwrap();
+        nn.commit_block(b, &t);
+        // Second cannot (nodes have ≤100 free).
+        assert!(nn.allocate_block(f, 900, None, &topo).is_none());
+    }
+
+    #[test]
+    fn stream_limits_bound_concurrent_replication() {
+        let mut cfg = HdfsConfig::hog().with_replication(3);
+        cfg.max_repl_streams_per_node = 1;
+        cfg.max_repl_orders_per_tick = 1000;
+        let (mut nn, topo, _) = setup(6, cfg);
+        write_file(&mut nn, &topo, "/in/a", 12, 1 << 20);
+        // Kill one replica holder of many blocks.
+        let victim = nn
+            .datanodes()
+            .max_by_key(|(_, d)| d.blocks.len())
+            .map(|(n, _)| n)
+            .unwrap();
+        nn.mark_silent(SimTime::ZERO, victim);
+        let out = nn.tick(SimTime::from_secs(31), &topo);
+        // With stream limit 1 per node, each node sources or sinks ≤ 1.
+        let mut uses: HashMap<NodeId, usize> = HashMap::new();
+        for o in &out.orders {
+            *uses.entry(o.src).or_default() += 1;
+            *uses.entry(o.dst).or_default() += 1;
+        }
+        assert!(uses.values().all(|&c| c <= 1), "stream limit violated");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let cfg = HdfsConfig::hog().with_replication(5);
+            let (mut nn, topo, _) = setup(4, cfg);
+            let f = write_file(&mut nn, &topo, "/in/a", 6, 1 << 20);
+            nn.blocks_of(f)
+                .iter()
+                .map(|&b| format!("{:?}", nn.block(b).replicas))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

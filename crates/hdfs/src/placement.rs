@@ -1,0 +1,571 @@
+//! Block placement policies.
+//!
+//! HOG's contribution is extending rack awareness to **site awareness**:
+//! sites are common failure domains (whole-site outages, correlated
+//! preemption bursts) and intra-site bandwidth dwarfs inter-site bandwidth,
+//! so replicas must spread across sites exactly like stock HDFS spreads
+//! them across racks. Three policies are provided:
+//!
+//! * [`SiteAwarePolicy`] — HOG §III-B.1: first replica local to the
+//!   writer, the rest spread over the sites currently holding the fewest
+//!   replicas of the block, preferring emptier nodes inside a site.
+//! * [`RackAwarePolicy`] — stock Hadoop 0.20 default (writer, remote
+//!   rack, same remote rack, then random); used on the dedicated cluster
+//!   where racks are the failure domain.
+//! * [`RackObliviousPolicy`] — uniform random placement, the ablation
+//!   baseline showing what site awareness buys (experiment X7).
+
+use hog_net::{NodeId, SiteId};
+use hog_sim_core::SimRng;
+use std::collections::HashMap;
+
+/// A datanode eligible to receive a replica.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The node.
+    pub node: NodeId,
+    /// Its site.
+    pub site: SiteId,
+    /// Free bytes on its HDFS partition.
+    pub free: u64,
+}
+
+/// A replica-target chooser. Implementations must return distinct nodes
+/// drawn from `candidates` (never one listed in `existing`), at most `n`
+/// of them; fewer when the cluster cannot satisfy the request.
+pub trait PlacementPolicy: Send {
+    /// Human-readable policy name (report labelling).
+    fn name(&self) -> &'static str;
+
+    /// Choose up to `n` targets for a block.
+    ///
+    /// * `writer` — the datanode co-located with the writing client, if
+    ///   any (map outputs written to HDFS, or a datanode-local upload).
+    /// * `existing` — `(node, site)` of current replicas (non-empty for
+    ///   re-replication).
+    /// * `candidates` — eligible datanodes (live, storage OK, enough free
+    ///   space); never contains nodes from `existing`.
+    fn choose(
+        &self,
+        writer: Option<NodeId>,
+        n: usize,
+        existing: &[(NodeId, SiteId)],
+        candidates: &[Candidate],
+        rng: &mut SimRng,
+    ) -> Vec<NodeId>;
+}
+
+/// Count replicas per site over `existing` plus already-chosen targets.
+fn site_counts(
+    existing: &[(NodeId, SiteId)],
+    chosen: &[NodeId],
+    candidates: &[Candidate],
+) -> HashMap<SiteId, usize> {
+    let mut counts: HashMap<SiteId, usize> = HashMap::new();
+    for &(_, s) in existing {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    for &c in chosen {
+        if let Some(cand) = candidates.iter().find(|x| x.node == c) {
+            *counts.entry(cand.site).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// HOG's site-aware placement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiteAwarePolicy;
+
+impl PlacementPolicy for SiteAwarePolicy {
+    fn name(&self) -> &'static str {
+        "site-aware"
+    }
+
+    fn choose(
+        &self,
+        writer: Option<NodeId>,
+        n: usize,
+        existing: &[(NodeId, SiteId)],
+        candidates: &[Candidate],
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(n);
+        if n == 0 || candidates.is_empty() {
+            return chosen;
+        }
+        // First replica: data locality — the writer's own datanode, when
+        // it is a candidate and this is a fresh write.
+        if existing.is_empty() {
+            if let Some(w) = writer {
+                if candidates.iter().any(|c| c.node == w) {
+                    chosen.push(w);
+                }
+            }
+        }
+        while chosen.len() < n {
+            let counts = site_counts(existing, &chosen, candidates);
+            // Group remaining candidates by site.
+            let mut per_site: HashMap<SiteId, Vec<&Candidate>> = HashMap::new();
+            for c in candidates {
+                if !chosen.contains(&c.node) {
+                    per_site.entry(c.site).or_default().push(c);
+                }
+            }
+            if per_site.is_empty() {
+                break;
+            }
+            // Pick the site with the fewest replicas so far; break count
+            // ties by site id for determinism.
+            let (&site, _) = per_site
+                .iter()
+                .min_by_key(|(&s, _)| (counts.get(&s).copied().unwrap_or(0), s))
+                .unwrap();
+            // Inside the site prefer the emptiest node, tie-broken
+            // randomly (via node id shuffle under the run rng).
+            let nodes = per_site.get_mut(&site).unwrap();
+            nodes.sort_by_key(|c| (std::cmp::Reverse(c.free), c.node));
+            let top_free = nodes[0].free;
+            let ties: Vec<&&Candidate> = nodes.iter().take_while(|c| c.free == top_free).collect();
+            let pick = ties[rng.index(ties.len())].node;
+            chosen.push(pick);
+        }
+        chosen
+    }
+}
+
+/// Stock Hadoop 0.20 rack-aware placement (racks == our sites).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RackAwarePolicy;
+
+impl PlacementPolicy for RackAwarePolicy {
+    fn name(&self) -> &'static str {
+        "rack-aware"
+    }
+
+    fn choose(
+        &self,
+        writer: Option<NodeId>,
+        n: usize,
+        existing: &[(NodeId, SiteId)],
+        candidates: &[Candidate],
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(n);
+        let mut remaining: Vec<&Candidate> = candidates.iter().collect();
+        let site_of = |node: NodeId, cands: &[Candidate]| {
+            cands.iter().find(|c| c.node == node).map(|c| c.site)
+        };
+        let take = |pred: &dyn Fn(&Candidate) -> bool,
+                        remaining: &mut Vec<&Candidate>,
+                        rng: &mut SimRng|
+         -> Option<NodeId> {
+            let idxs: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| pred(c))
+                .map(|(i, _)| i)
+                .collect();
+            if idxs.is_empty() {
+                return None;
+            }
+            let i = idxs[rng.index(idxs.len())];
+            Some(remaining.swap_remove(i).node)
+        };
+
+        // Replica 1: the writer's node, else random.
+        if chosen.len() < n && existing.is_empty() {
+            let first = writer
+                .and_then(|w| take(&|c: &Candidate| c.node == w, &mut remaining, rng))
+                .or_else(|| take(&|_| true, &mut remaining, rng));
+            if let Some(f) = first {
+                chosen.push(f);
+            }
+        }
+        // Replica 2: a different rack/site than replica 1 (or than any
+        // existing replica, for re-replication).
+        if chosen.len() < n {
+            let first_site = chosen
+                .first()
+                .and_then(|&f| site_of(f, candidates))
+                .or_else(|| existing.first().map(|&(_, s)| s));
+            let second = match first_site {
+                Some(fs) => take(&|c: &Candidate| c.site != fs, &mut remaining, rng)
+                    .or_else(|| take(&|_| true, &mut remaining, rng)),
+                None => take(&|_| true, &mut remaining, rng),
+            };
+            if let Some(s) = second {
+                chosen.push(s);
+            }
+        }
+        // Replica 3: same rack as replica 2, different node.
+        if chosen.len() < n {
+            let second_site = chosen.last().and_then(|&s| site_of(s, candidates));
+            let third = match second_site {
+                Some(ss) => take(&|c: &Candidate| c.site == ss, &mut remaining, rng)
+                    .or_else(|| take(&|_| true, &mut remaining, rng)),
+                None => take(&|_| true, &mut remaining, rng),
+            };
+            if let Some(t) = third {
+                chosen.push(t);
+            }
+        }
+        // The rest: random.
+        while chosen.len() < n {
+            match take(&|_| true, &mut remaining, rng) {
+                Some(x) => chosen.push(x),
+                None => break,
+            }
+        }
+        chosen
+    }
+}
+
+/// MOON-style anchor placement: the first replica is pinned to a
+/// dedicated *anchor* site (nodes that are never preempted), the rest
+/// spread site-aware over the opportunistic pool. Models Lin et al.'s
+/// MOON, which the paper contrasts with HOG in §V: data durability comes
+/// from the anchor, so the opportunistic replication factor can stay low,
+/// but the anchor's capacity and bandwidth bound the system.
+#[derive(Clone, Copy, Debug)]
+pub struct AnchorFirstPolicy {
+    /// The dedicated anchor site.
+    pub anchor: SiteId,
+}
+
+impl PlacementPolicy for AnchorFirstPolicy {
+    fn name(&self) -> &'static str {
+        "anchor-first"
+    }
+
+    fn choose(
+        &self,
+        writer: Option<NodeId>,
+        n: usize,
+        existing: &[(NodeId, SiteId)],
+        candidates: &[Candidate],
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        if n == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut chosen = Vec::with_capacity(n);
+        let anchor_has_replica = existing.iter().any(|&(_, s)| s == self.anchor);
+        if !anchor_has_replica {
+            // Pin one replica to the emptiest anchor node.
+            let mut anchors: Vec<&Candidate> = candidates
+                .iter()
+                .filter(|c| c.site == self.anchor)
+                .collect();
+            anchors.sort_by_key(|c| (std::cmp::Reverse(c.free), c.node));
+            if let Some(a) = anchors.first() {
+                chosen.push(a.node);
+            }
+        }
+        // Remaining replicas: site-aware spread over non-anchor nodes.
+        let rest: Vec<Candidate> = candidates
+            .iter()
+            .filter(|c| c.site != self.anchor && !chosen.contains(&c.node))
+            .copied()
+            .collect();
+        let mut existing_rest: Vec<(NodeId, SiteId)> = existing.to_vec();
+        for &c in &chosen {
+            existing_rest.push((c, self.anchor));
+        }
+        let more = SiteAwarePolicy.choose(
+            writer,
+            n.saturating_sub(chosen.len()),
+            &existing_rest,
+            &rest,
+            rng,
+        );
+        chosen.extend(more);
+        chosen.truncate(n);
+        chosen
+    }
+}
+
+/// Uniform random placement, ignoring topology entirely (ablation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RackObliviousPolicy;
+
+impl PlacementPolicy for RackObliviousPolicy {
+    fn name(&self) -> &'static str {
+        "rack-oblivious"
+    }
+
+    fn choose(
+        &self,
+        _writer: Option<NodeId>,
+        n: usize,
+        _existing: &[(NodeId, SiteId)],
+        candidates: &[Candidate],
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = candidates.iter().map(|c| c.node).collect();
+        rng.shuffle(&mut pool);
+        pool.truncate(n);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// `sites` nodes spread round-robin over `n_sites` sites.
+    fn cluster(n_nodes: u32, n_sites: u16) -> Vec<Candidate> {
+        (0..n_nodes)
+            .map(|i| Candidate {
+                node: NodeId(i),
+                site: SiteId((i % n_sites as u32) as u16),
+                free: 1_000_000,
+            })
+            .collect()
+    }
+
+    fn sites_of(chosen: &[NodeId], cands: &[Candidate]) -> Vec<SiteId> {
+        chosen
+            .iter()
+            .map(|&n| cands.iter().find(|c| c.node == n).unwrap().site)
+            .collect()
+    }
+
+    #[test]
+    fn site_aware_prefers_writer_first() {
+        let cands = cluster(20, 5);
+        let mut rng = SimRng::seed_from_u64(1);
+        let chosen = SiteAwarePolicy.choose(Some(NodeId(7)), 3, &[], &cands, &mut rng);
+        assert_eq!(chosen[0], NodeId(7));
+        assert_eq!(chosen.len(), 3);
+    }
+
+    #[test]
+    fn site_aware_spreads_across_sites() {
+        let cands = cluster(25, 5);
+        let mut rng = SimRng::seed_from_u64(2);
+        let chosen = SiteAwarePolicy.choose(None, 5, &[], &cands, &mut rng);
+        let mut sites = sites_of(&chosen, &cands);
+        sites.sort();
+        sites.dedup();
+        assert_eq!(sites.len(), 5, "5 replicas over 5 sites must use all 5");
+    }
+
+    #[test]
+    fn site_aware_ten_replicas_balance_sites() {
+        // Replication 10 over 5 sites: exactly 2 per site.
+        let cands = cluster(50, 5);
+        let mut rng = SimRng::seed_from_u64(3);
+        let chosen = SiteAwarePolicy.choose(None, 10, &[], &cands, &mut rng);
+        assert_eq!(chosen.len(), 10);
+        let sites = sites_of(&chosen, &cands);
+        for s in 0..5u16 {
+            let k = sites.iter().filter(|&&x| x == SiteId(s)).count();
+            assert_eq!(k, 2, "site {s} should hold 2 of 10 replicas");
+        }
+    }
+
+    #[test]
+    fn site_aware_rereplication_avoids_loaded_sites() {
+        let cands: Vec<Candidate> = cluster(20, 4)
+            .into_iter()
+            .filter(|c| c.node != NodeId(0))
+            .collect();
+        // Existing replicas pile on sites 0 and 1.
+        let existing = vec![
+            (NodeId(0), SiteId(0)),
+            (NodeId(100), SiteId(0)),
+            (NodeId(101), SiteId(1)),
+        ];
+        let mut rng = SimRng::seed_from_u64(4);
+        let chosen = SiteAwarePolicy.choose(None, 2, &existing, &cands, &mut rng);
+        let sites = sites_of(&chosen, &cands);
+        assert!(sites.contains(&SiteId(2)));
+        assert!(sites.contains(&SiteId(3)));
+    }
+
+    #[test]
+    fn site_aware_prefers_empty_nodes_within_site() {
+        let mut cands = cluster(10, 1);
+        for (i, c) in cands.iter_mut().enumerate() {
+            c.free = (i as u64) * 100; // node 9 is emptiest
+        }
+        let mut rng = SimRng::seed_from_u64(5);
+        let chosen = SiteAwarePolicy.choose(None, 1, &[], &cands, &mut rng);
+        assert_eq!(chosen, vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn rack_aware_classic_pattern() {
+        let cands = cluster(30, 3);
+        let mut rng = SimRng::seed_from_u64(6);
+        let chosen = RackAwarePolicy.choose(Some(NodeId(0)), 3, &[], &cands, &mut rng);
+        assert_eq!(chosen.len(), 3);
+        assert_eq!(chosen[0], NodeId(0));
+        let s = sites_of(&chosen, &cands);
+        assert_ne!(s[0], s[1], "replica 2 on a different rack");
+        assert_eq!(s[1], s[2], "replica 3 on the same rack as replica 2");
+        assert_ne!(chosen[1], chosen[2]);
+    }
+
+    #[test]
+    fn rack_aware_single_site_degenerates_gracefully() {
+        let cands = cluster(10, 1);
+        let mut rng = SimRng::seed_from_u64(7);
+        let chosen = RackAwarePolicy.choose(Some(NodeId(2)), 3, &[], &cands, &mut rng);
+        assert_eq!(chosen.len(), 3);
+        let mut c = chosen.clone();
+        c.dedup();
+        assert_eq!(c.len(), 3, "distinct nodes even in one rack");
+    }
+
+    #[test]
+    fn anchor_first_pins_one_replica() {
+        let cands = cluster(20, 4); // site 0 is the anchor
+        let policy = AnchorFirstPolicy { anchor: SiteId(0) };
+        let mut rng = SimRng::seed_from_u64(17);
+        let chosen = policy.choose(None, 3, &[], &cands, &mut rng);
+        assert_eq!(chosen.len(), 3);
+        let sites = sites_of(&chosen, &cands);
+        assert_eq!(
+            sites.iter().filter(|&&s| s == SiteId(0)).count(),
+            1,
+            "exactly one anchor replica: {sites:?}"
+        );
+    }
+
+    #[test]
+    fn anchor_first_skips_anchor_when_already_covered() {
+        let cands: Vec<Candidate> = cluster(20, 4)
+            .into_iter()
+            .filter(|c| c.site != SiteId(0))
+            .collect();
+        let policy = AnchorFirstPolicy { anchor: SiteId(0) };
+        let mut rng = SimRng::seed_from_u64(18);
+        // Re-replication with the anchor already holding a copy.
+        let existing = vec![(NodeId(100), SiteId(0))];
+        let chosen = policy.choose(None, 2, &existing, &cands, &mut rng);
+        assert_eq!(chosen.len(), 2);
+        let sites = sites_of(&chosen, &cands);
+        assert!(sites.iter().all(|&s| s != SiteId(0)));
+    }
+
+    #[test]
+    fn anchor_first_survives_empty_anchor() {
+        // No anchor nodes available: all replicas go opportunistic.
+        let cands: Vec<Candidate> = cluster(12, 3)
+            .into_iter()
+            .map(|mut c| {
+                c.site = SiteId(c.site.0 + 1); // sites 1..3, no site 0
+                c
+            })
+            .collect();
+        let policy = AnchorFirstPolicy { anchor: SiteId(0) };
+        let mut rng = SimRng::seed_from_u64(19);
+        let chosen = policy.choose(None, 3, &[], &cands, &mut rng);
+        assert_eq!(chosen.len(), 3);
+    }
+
+    #[test]
+    fn oblivious_ignores_writer() {
+        let cands = cluster(100, 5);
+        let mut hits = 0;
+        for seed in 0..50 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let chosen = RackObliviousPolicy.choose(Some(NodeId(3)), 1, &[], &cands, &mut rng);
+            if chosen[0] == NodeId(3) {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 5, "writer shouldn't be systematically preferred");
+    }
+
+    #[test]
+    fn all_policies_handle_tiny_clusters() {
+        let cands = cluster(2, 1);
+        let mut rng = SimRng::seed_from_u64(8);
+        for policy in [
+            &SiteAwarePolicy as &dyn PlacementPolicy,
+            &RackAwarePolicy,
+            &RackObliviousPolicy,
+        ] {
+            let chosen = policy.choose(None, 10, &[], &cands, &mut rng);
+            assert_eq!(chosen.len(), 2, "{}: give what exists", policy.name());
+            assert_ne!(chosen[0], chosen[1]);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for policy in [
+            &SiteAwarePolicy as &dyn PlacementPolicy,
+            &RackAwarePolicy,
+            &RackObliviousPolicy,
+        ] {
+            assert!(policy.choose(None, 3, &[], &[], &mut rng).is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every policy returns distinct nodes drawn from the candidates,
+        /// never more than requested or available.
+        #[test]
+        fn prop_policies_return_valid_sets(
+            n_nodes in 1u32..60,
+            n_sites in 1u16..6,
+            want in 0usize..15,
+            seed in 0u64..1000,
+            which in 0u8..3,
+        ) {
+            let cands = cluster(n_nodes, n_sites);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let policy: &dyn PlacementPolicy = match which {
+                0 => &SiteAwarePolicy,
+                1 => &RackAwarePolicy,
+                _ => &RackObliviousPolicy,
+            };
+            let chosen = policy.choose(Some(NodeId(0)), want, &[], &cands, &mut rng);
+            prop_assert!(chosen.len() <= want);
+            prop_assert!(chosen.len() <= cands.len());
+            if want > 0 && !cands.is_empty() {
+                prop_assert!(!chosen.is_empty(), "{} returned nothing", policy.name());
+            }
+            let mut uniq = chosen.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), chosen.len(), "duplicates returned");
+            for c in &chosen {
+                prop_assert!(cands.iter().any(|x| x.node == *c));
+            }
+        }
+
+        /// Site-aware invariant: replica counts across sites never differ
+        /// by more than one when every site has spare nodes.
+        #[test]
+        fn prop_site_aware_balances(
+            per_site in 3u32..8,
+            n_sites in 2u16..6,
+            want in 1usize..12,
+            seed in 0u64..500,
+        ) {
+            let n_nodes = per_site * n_sites as u32;
+            let cands = cluster(n_nodes, n_sites);
+            let want = want.min(n_nodes as usize);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let chosen = SiteAwarePolicy.choose(None, want, &[], &cands, &mut rng);
+            let sites = sites_of(&chosen, &cands);
+            let mut counts = vec![0usize; n_sites as usize];
+            for s in sites { counts[s.0 as usize] += 1; }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            // Only enforce when no site ran out of candidate nodes.
+            if max <= per_site as usize {
+                prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+            }
+        }
+    }
+}

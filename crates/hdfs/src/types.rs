@@ -1,0 +1,86 @@
+//! Core identifiers and metadata records.
+
+use hog_net::NodeId;
+use std::collections::BTreeSet;
+
+/// A file in the (flat) HDFS namespace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// A fixed-size data block. Ids are dense per-namenode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Namespace record for one file.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Path (flat namespace; HDFS directory semantics are irrelevant to
+    /// the paper's experiments).
+    pub path: String,
+    /// Block list in file order.
+    pub blocks: Vec<BlockId>,
+    /// Target replication factor for this file's blocks.
+    pub replication: u16,
+    /// Whether the writer has completed the file.
+    pub complete: bool,
+}
+
+/// Block record: size, location set and the replication target inherited
+/// from its file.
+#[derive(Clone, Debug)]
+pub struct BlockMeta {
+    /// Owning file.
+    pub file: FileId,
+    /// Bytes in this block (≤ the configured block size).
+    pub size: u64,
+    /// Datanodes currently holding a valid replica.
+    pub replicas: BTreeSet<NodeId>,
+    /// Desired replica count.
+    pub expected: u16,
+}
+
+impl BlockMeta {
+    /// How many replicas are missing relative to target.
+    pub fn deficit(&self) -> usize {
+        (self.expected as usize).saturating_sub(self.replicas.len())
+    }
+
+    /// How many replicas exceed target.
+    pub fn excess(&self) -> usize {
+        self.replicas.len().saturating_sub(self.expected as usize)
+    }
+
+    /// A block with no replicas is *missing* — readers fail (the paper's
+    /// data-availability failure under simultaneous preemption).
+    pub fn is_missing(&self) -> bool {
+        self.replicas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(expected: u16, reps: &[u32]) -> BlockMeta {
+        BlockMeta {
+            file: FileId(0),
+            size: 1,
+            replicas: reps.iter().map(|&n| NodeId(n)).collect(),
+            expected,
+        }
+    }
+
+    #[test]
+    fn deficit_and_excess() {
+        assert_eq!(meta(3, &[1]).deficit(), 2);
+        assert_eq!(meta(3, &[1, 2, 3]).deficit(), 0);
+        assert_eq!(meta(3, &[1, 2, 3, 4, 5]).excess(), 2);
+        assert_eq!(meta(3, &[1]).excess(), 0);
+    }
+
+    #[test]
+    fn missing() {
+        assert!(meta(3, &[]).is_missing());
+        assert!(!meta(3, &[1]).is_missing());
+    }
+}

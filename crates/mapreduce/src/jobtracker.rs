@@ -1,0 +1,1042 @@
+//! The JobTracker: FIFO + locality scheduling, speculation, shuffle
+//! coordination, tracker liveness and failure handling.
+
+use crate::config::MrParams;
+use crate::job::{
+    AttemptPhase, AttemptState, JobId, JobState, JobStatus, JobSubmission, TaskKind, TaskRef,
+};
+use crate::shuffle::{FetchOrder, ReducePlan};
+use crate::tracker::{TrackerLiveness, TrackerState};
+use crate::AttemptRef;
+use hog_hdfs::BlockId;
+use hog_net::{NodeId, SiteId, Topology};
+use hog_sim_core::metrics::Counter;
+use hog_sim_core::{SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Locality level of a map assignment (paper §III-B.2: node → site →
+/// remote).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// Input block has a replica on the assigned node.
+    NodeLocal,
+    /// A replica lives in the same site.
+    SiteLocal,
+    /// Input must cross the WAN.
+    Remote,
+}
+
+/// A task handed to a tasktracker on heartbeat.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assignment {
+    /// Run a map task.
+    Map {
+        /// The attempt to execute.
+        attempt: AttemptRef,
+        /// Input block to read.
+        block: BlockId,
+        /// Input bytes.
+        input_bytes: u64,
+        /// CPU seconds of the map function.
+        cpu_secs: f64,
+        /// Intermediate bytes the map writes to local scratch.
+        output_bytes: u64,
+        /// Locality the scheduler achieved.
+        locality: Locality,
+    },
+    /// Run a reduce task (shuffle begins via [`JobTracker::reduce_next`]).
+    Reduce {
+        /// The attempt to execute.
+        attempt: AttemptRef,
+    },
+}
+
+impl Assignment {
+    /// The attempt this assignment starts.
+    pub fn attempt(&self) -> AttemptRef {
+        match self {
+            Assignment::Map { attempt, .. } | Assignment::Reduce { attempt } => *attempt,
+        }
+    }
+}
+
+/// Notifications for the mediator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JtNote {
+    /// Cancel this attempt's in-flight work (a sibling won, or its job
+    /// died); its slot is already freed.
+    KillAttempt {
+        /// The attempt to kill.
+        attempt: AttemptRef,
+        /// Where it was running.
+        node: NodeId,
+    },
+    /// A job finished successfully.
+    JobCompleted {
+        /// The job.
+        job: JobId,
+    },
+    /// A job exhausted a task's attempts and was killed.
+    JobFailed {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// Why an attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// The tracker died under it.
+    NodeLost,
+    /// Local scratch disk full (paper §IV-D.2).
+    DiskFull,
+    /// Input block unreadable (missing or all sources dead).
+    LostBlock,
+    /// The node is a zombie: accepted the task, failed instantly
+    /// (§IV-D.1).
+    ZombieNode,
+    /// A shuffle fetch could not be completed.
+    FetchFailed,
+}
+
+/// What a reduce attempt should do next.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReduceStep {
+    /// Start these shuffle fetches (order id → fetch).
+    Fetch(Vec<(u64, FetchOrder)>),
+    /// Nothing to do yet; the JobTracker will wake the attempt when new
+    /// map output lands.
+    Wait,
+    /// All partitions fetched: run merge-sort + reduce, then write output.
+    StartSort {
+        /// CPU seconds of merge + reduce.
+        cpu_secs: f64,
+        /// Final output bytes to write to HDFS.
+        output_bytes: u64,
+        /// Output replication factor.
+        replication: u16,
+    },
+}
+
+/// Output of [`JobTracker::map_done`].
+#[derive(Clone, Debug, Default)]
+pub struct MapDoneOutput {
+    /// Kill/completion notifications.
+    pub notes: Vec<JtNote>,
+    /// Reduce attempts that may now have fetch work.
+    pub wake_reduces: Vec<AttemptRef>,
+}
+
+/// Per-job locality index: static split locations, as Hadoop caches them
+/// at submission.
+struct LocalityIndex {
+    by_node: HashMap<NodeId, Vec<u32>>,
+    by_site: HashMap<SiteId, Vec<u32>>,
+}
+
+/// Scheduling / failure counters for reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JtCounters {
+    /// Map assignments at each locality level.
+    pub node_local: u64,
+    /// Site-local map assignments.
+    pub site_local: u64,
+    /// Remote map assignments.
+    pub remote: u64,
+    /// Speculative attempts launched.
+    pub speculative: u64,
+    /// Attempt failures.
+    pub failures: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Jobs failed.
+    pub jobs_failed: u64,
+}
+
+/// The MapReduce master. See the crate docs for the modelled behaviours.
+pub struct JobTracker {
+    cfg: MrParams,
+    jobs: Vec<JobState>,
+    locality: Vec<LocalityIndex>,
+    /// Incomplete jobs in submission order (FIFO policy).
+    fifo: Vec<JobId>,
+    trackers: BTreeMap<NodeId, TrackerState>,
+    /// Reduce attempts that returned `StartSort` already.
+    sorting: HashSet<AttemptRef>,
+    rng: SimRng,
+    counters: JtCounters,
+    _spec_counter: Counter,
+}
+
+impl JobTracker {
+    /// A JobTracker with the given parameters.
+    pub fn new(cfg: MrParams, rng: SimRng) -> Self {
+        JobTracker {
+            cfg,
+            jobs: Vec::new(),
+            locality: Vec::new(),
+            fifo: Vec::new(),
+            trackers: BTreeMap::new(),
+            sorting: HashSet::new(),
+            rng,
+            counters: JtCounters::default(),
+            _spec_counter: Counter::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MrParams {
+        &self.cfg
+    }
+
+    /// Scheduling counters.
+    pub fn counters(&self) -> JtCounters {
+        self.counters
+    }
+
+    // ------------------------------------------------------------------
+    // Tracker liveness
+    // ------------------------------------------------------------------
+
+    /// A tasktracker started on `node`.
+    pub fn register_tracker(&mut self, now: SimTime, node: NodeId, map_slots: u8, reduce_slots: u8) {
+        self.trackers.insert(
+            node,
+            TrackerState::new(map_slots, reduce_slots, self.cfg.scratch_capacity, now),
+        );
+    }
+
+    /// The tracker stopped heartbeating (worker preempted cleanly).
+    pub fn tracker_silent(&mut self, now: SimTime, node: NodeId) {
+        if let Some(t) = self.trackers.get_mut(&node) {
+            if t.liveness == TrackerLiveness::Live {
+                t.liveness = TrackerLiveness::Silent;
+                t.last_heartbeat = now;
+            }
+        }
+    }
+
+    /// Whether the JobTracker currently believes the tracker usable.
+    pub fn tracker_live(&self, node: NodeId) -> bool {
+        self.trackers
+            .get(&node)
+            .is_some_and(|t| t.liveness == TrackerLiveness::Live)
+    }
+
+    /// Trackers the JobTracker believes alive (Fig. 5 master view).
+    pub fn reported_live(&self) -> usize {
+        self.trackers
+            .values()
+            .filter(|t| t.liveness != TrackerLiveness::Dead)
+            .count()
+    }
+
+    /// Declare overdue silent trackers dead: reschedule their running
+    /// attempts and re-run completed maps whose outputs died with them.
+    pub fn check_dead(&mut self, now: SimTime) -> (Vec<NodeId>, Vec<JtNote>) {
+        let overdue: Vec<NodeId> = self
+            .trackers
+            .iter()
+            .filter(|(_, t)| {
+                t.liveness == TrackerLiveness::Silent
+                    && now.saturating_since(t.last_heartbeat) >= self.cfg.tracker_dead_timeout
+            })
+            .map(|(&n, _)| n)
+            .collect();
+        let mut notes = Vec::new();
+        for node in &overdue {
+            notes.extend(self.declare_tracker_dead(now, *node));
+        }
+        (overdue, notes)
+    }
+
+    fn declare_tracker_dead(&mut self, now: SimTime, node: NodeId) -> Vec<JtNote> {
+        let mut notes = Vec::new();
+        let Some(t) = self.trackers.get_mut(&node) else {
+            return notes;
+        };
+        t.liveness = TrackerLiveness::Dead;
+        let running: Vec<AttemptRef> = t.running.iter().copied().collect();
+        t.running.clear();
+        t.scratch_used = 0;
+        // Requeue running attempts (killed, not failed: no blame).
+        for att in running {
+            notes.extend(self.abort_attempt(now, att, node, false));
+        }
+        // Re-run completed maps whose intermediate output is gone, for
+        // jobs that still need their shuffle data.
+        for jid in self.fifo.clone() {
+            let job = &mut self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            job.scratch_by_node.remove(&node);
+            // Nothing needs old map output once every reduce has finished.
+            if job.all_done() || job.reduces_done == job.spec.reduces {
+                continue;
+            }
+            let mut lost: Vec<u32> = Vec::new();
+            for (i, task) in job.maps.iter_mut().enumerate() {
+                if task.done && task.completed_on == Some(node) {
+                    task.done = false;
+                    task.completed_on = None;
+                    lost.push(i as u32);
+                }
+            }
+            if lost.is_empty() {
+                continue;
+            }
+            job.maps_done -= lost.len() as u32;
+            for &m in &lost {
+                job.pending_maps.insert(m);
+                for plan in job.reduce_plans.values_mut() {
+                    plan.map_lost(m);
+                }
+            }
+        }
+        notes
+    }
+
+    // ------------------------------------------------------------------
+    // Job lifecycle
+    // ------------------------------------------------------------------
+
+    /// Submit a job; split locality hints come from the submission.
+    pub fn submit_job(&mut self, now: SimTime, spec: JobSubmission, topo: &Topology) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        let mut by_node: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut by_site: HashMap<SiteId, Vec<u32>> = HashMap::new();
+        for (i, locs) in spec.split_locations.iter().enumerate() {
+            for &n in locs {
+                by_node.entry(n).or_default().push(i as u32);
+                by_site.entry(topo.site_of(n)).or_default().push(i as u32);
+            }
+        }
+        self.locality.push(LocalityIndex { by_node, by_site });
+        self.jobs.push(JobState::new(spec, now));
+        self.fifo.push(id);
+        id
+    }
+
+    /// Job state (read-only, for reports and the mediator).
+    pub fn job(&self, id: JobId) -> &JobState {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs not yet finished.
+    pub fn incomplete_jobs(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Response time of a finished job.
+    pub fn response_time(&self, id: JobId) -> Option<SimDuration> {
+        let j = self.job(id);
+        j.finished.map(|f| f.saturating_since(j.submitted))
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling (heartbeat-driven)
+    // ------------------------------------------------------------------
+
+    /// A tasktracker heartbeat: record liveness and hand out work for its
+    /// free slots (FIFO across jobs; node-local → site-local → remote for
+    /// maps; slowstart-gated reduces; speculation as a fallback).
+    pub fn heartbeat(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Vec<Assignment> {
+        let Some(t) = self.trackers.get_mut(&node) else {
+            return Vec::new();
+        };
+        if t.liveness == TrackerLiveness::Dead {
+            return Vec::new();
+        }
+        t.last_heartbeat = now;
+        t.liveness = TrackerLiveness::Live;
+        let mut out = Vec::new();
+        loop {
+            let free = self.trackers[&node].free_map_slots();
+            if free == 0 {
+                break;
+            }
+            match self.assign_map(now, node, topo) {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        loop {
+            let free = self.trackers[&node].free_reduce_slots();
+            if free == 0 {
+                break;
+            }
+            match self.assign_reduce(now, node, topo) {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn start_attempt(&mut self, now: SimTime, task: TaskRef, node: NodeId) -> AttemptRef {
+        let job = &mut self.jobs[task.job.0 as usize];
+        let ts = job.task_mut(task);
+        let attempt = ts.attempts.len() as u8;
+        ts.attempts.push(AttemptState {
+            node,
+            started: now,
+            phase: AttemptPhase::Running,
+        });
+        let att = AttemptRef { task, attempt };
+        self.trackers.get_mut(&node).unwrap().running.insert(att);
+        att
+    }
+
+    fn assign_map(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Option<Assignment> {
+        let site = topo.site_of(node);
+        for &jid in &self.fifo.clone() {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
+            {
+                continue;
+            }
+            if job.pending_maps.is_empty() {
+                continue;
+            }
+            // Only tasks past their retry backoff are assignable.
+            let ok = |m: &u32| {
+                job.pending_maps.contains(m)
+                    && job.retry_eligible(TaskKind::Map, *m, now)
+            };
+            // Node-local.
+            let idx = &self.locality[jid.0 as usize];
+            let mut pick: Option<(u32, Locality)> = None;
+            if let Some(cands) = idx.by_node.get(&node) {
+                if let Some(&m) = cands.iter().find(|m| ok(m)) {
+                    pick = Some((m, Locality::NodeLocal));
+                }
+            }
+            // Site-local.
+            if pick.is_none() {
+                if let Some(cands) = idx.by_site.get(&site) {
+                    if let Some(&m) = cands.iter().find(|m| ok(m)) {
+                        pick = Some((m, Locality::SiteLocal));
+                    }
+                }
+            }
+            // Remote (lowest eligible pending index).
+            if pick.is_none() {
+                pick = job
+                    .pending_maps
+                    .iter()
+                    .find(|m| job.retry_eligible(TaskKind::Map, **m, now))
+                    .map(|&m| (m, Locality::Remote));
+            }
+            let Some((m, locality)) = pick else {
+                continue; // everything pending is cooling down
+            };
+            match locality {
+                Locality::NodeLocal => self.counters.node_local += 1,
+                Locality::SiteLocal => self.counters.site_local += 1,
+                Locality::Remote => self.counters.remote += 1,
+            }
+            let job = &mut self.jobs[jid.0 as usize];
+            job.pending_maps.remove(&m);
+            let (block, input_bytes) = job.spec.input_blocks[m as usize];
+            let cpu_secs = job.spec.map_cpu_secs;
+            let output_bytes = job.spec.map_output_bytes;
+            let task = TaskRef {
+                job: jid,
+                kind: TaskKind::Map,
+                index: m,
+            };
+            let attempt = self.start_attempt(now, task, node);
+            return Some(Assignment::Map {
+                attempt,
+                block,
+                input_bytes,
+                cpu_secs,
+                output_bytes,
+                locality,
+            });
+        }
+        // No pending map anywhere: consider speculation.
+        if self.cfg.speculative_enabled {
+            return self.speculate(now, node, TaskKind::Map, topo);
+        }
+        None
+    }
+
+    fn assign_reduce(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Option<Assignment> {
+        for &jid in &self.fifo.clone() {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running
+                || job.blacklisted(node, self.cfg.blacklist_threshold)
+                || !job.slowstart_reached(self.cfg.reduce_slowstart)
+                || job.pending_reduces.is_empty()
+            {
+                continue;
+            }
+            let Some(&r) = job
+                .pending_reduces
+                .iter()
+                .find(|r| job.retry_eligible(TaskKind::Reduce, **r, now))
+            else {
+                continue; // all pending reduces cooling down
+            };
+            let job = &mut self.jobs[jid.0 as usize];
+            job.pending_reduces.remove(&r);
+            let task = TaskRef {
+                job: jid,
+                kind: TaskKind::Reduce,
+                index: r,
+            };
+            let attempt = self.start_attempt(now, task, node);
+            self.init_reduce_plan(attempt, topo);
+            return Some(Assignment::Reduce { attempt });
+        }
+        if self.cfg.speculative_enabled {
+            return self.speculate(now, node, TaskKind::Reduce, topo);
+        }
+        None
+    }
+
+    /// Populate a fresh reduce attempt's shuffle plan with every map
+    /// output already completed.
+    fn init_reduce_plan(&mut self, att: AttemptRef, topo: &Topology) {
+        let jid = att.task.job;
+        let total = self.jobs[jid.0 as usize].spec.maps();
+        let part = self.partition_bytes(jid);
+        let mut plan = ReducePlan::new(total);
+        // Collect (map, node) of completed maps first to appease borrows.
+        let done: Vec<(u32, NodeId)> = self.jobs[jid.0 as usize]
+            .maps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.completed_on.filter(|_| t.done).map(|n| (i as u32, n)))
+            .collect();
+        for (m, n) in done {
+            plan.map_available(m, n, topo.site_of(n), part);
+        }
+        self.jobs[jid.0 as usize].reduce_plans.insert(att, plan);
+    }
+
+    /// Bytes of one map's partition destined for one reduce.
+    fn partition_bytes(&self, job: JobId) -> u64 {
+        let spec = &self.jobs[job.0 as usize].spec;
+        spec.map_output_bytes / spec.reduces.max(1) as u64
+    }
+
+    /// One speculative attempt for a straggling `kind` task, if any
+    /// qualifies (paper: task 1/3 slower than average; ≤ 2 copies).
+    fn speculate(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        topo: &Topology,
+    ) -> Option<Assignment> {
+        // Rate-limit unsuccessful scans: an O(tasks) sweep per idle
+        // heartbeat would dominate at 1000+ nodes.
+        const SCAN_COOLDOWN: SimDuration = SimDuration::from_secs(5);
+        for &jid in &self.fifo.clone() {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
+            {
+                continue;
+            }
+            if !self.cfg.eager_copies
+                && now.saturating_since(job.spec_last_scan) < SCAN_COOLDOWN
+            {
+                continue;
+            }
+            // Eager mode (multi-copy, §VI) skips the straggler threshold;
+            // stock speculation requires a mean over completed tasks.
+            let threshold = if self.cfg.eager_copies {
+                0.0
+            } else {
+                let mean = match kind {
+                    TaskKind::Map => job.mean_map_secs(self.cfg.speculative_min_completed),
+                    TaskKind::Reduce => job.mean_reduce_secs(self.cfg.speculative_min_completed),
+                };
+                let Some(mean) = mean else { continue };
+                mean * self.cfg.speculative_factor
+            };
+            let max_copies = self.cfg.max_task_copies as usize;
+            let tasks = match kind {
+                TaskKind::Map => &job.maps,
+                TaskKind::Reduce => &job.reduces,
+            };
+            let candidate = tasks.iter().enumerate().find(|(_, t)| {
+                let running = t.running_attempts();
+                !t.done
+                    && running >= 1
+                    && running < max_copies
+                    && t.attempts
+                        .iter()
+                        .filter(|a| a.phase == AttemptPhase::Running)
+                        .all(|a| {
+                            a.node != node
+                                && (self.cfg.eager_copies
+                                    || now.saturating_since(a.started).as_secs_f64() > threshold)
+                        })
+            });
+            let Some((index, _)) = candidate else {
+                self.jobs[jid.0 as usize].spec_last_scan = now;
+                continue;
+            };
+            self.counters.speculative += 1;
+            let task = TaskRef {
+                job: jid,
+                kind,
+                index: index as u32,
+            };
+            let attempt = self.start_attempt(now, task, node);
+            return Some(match kind {
+                TaskKind::Map => {
+                    let spec = &self.jobs[jid.0 as usize].spec;
+                    let (block, input_bytes) = spec.input_blocks[index];
+                    self.counters.remote += 1;
+                    Assignment::Map {
+                        attempt,
+                        block,
+                        input_bytes,
+                        cpu_secs: spec.map_cpu_secs,
+                        output_bytes: spec.map_output_bytes,
+                        locality: Locality::Remote,
+                    }
+                }
+                TaskKind::Reduce => {
+                    self.init_reduce_plan(attempt, topo);
+                    Assignment::Reduce { attempt }
+                }
+            });
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Attempt completion / failure
+    // ------------------------------------------------------------------
+
+    /// Is the attempt still running (guards stale mediator events)?
+    pub fn attempt_active(&self, att: AttemptRef) -> bool {
+        let job = &self.jobs[att.task.job.0 as usize];
+        if job.status != JobStatus::Running {
+            return false;
+        }
+        job.task(att.task)
+            .attempts
+            .get(att.attempt as usize)
+            .is_some_and(|a| a.phase == AttemptPhase::Running)
+    }
+
+    /// Reserve scratch space on `node` for `att`'s map output; `false`
+    /// means the disk is full and the attempt must fail.
+    pub fn reserve_map_scratch(&mut self, att: AttemptRef, node: NodeId) -> bool {
+        let bytes = self.jobs[att.task.job.0 as usize].spec.map_output_bytes;
+        let Some(t) = self.trackers.get_mut(&node) else {
+            return false;
+        };
+        if !t.try_reserve_scratch(bytes) {
+            return false;
+        }
+        *self.jobs[att.task.job.0 as usize]
+            .scratch_by_node
+            .entry(node)
+            .or_insert(0) += bytes;
+        true
+    }
+
+    /// A map attempt finished its spill: the task is complete.
+    pub fn map_done(&mut self, now: SimTime, att: AttemptRef, topo: &Topology) -> MapDoneOutput {
+        let mut out = MapDoneOutput::default();
+        if !self.attempt_active(att) {
+            return out;
+        }
+        let jid = att.task.job;
+        let node = {
+            let job = &mut self.jobs[jid.0 as usize];
+            let ts = job.task_mut(att.task);
+            let a = &mut ts.attempts[att.attempt as usize];
+            a.phase = AttemptPhase::Succeeded;
+            let node = a.node;
+            let dur = now.saturating_since(a.started).as_secs_f64();
+            ts.done = true;
+            ts.completed_on = Some(node);
+            job.maps_done += 1;
+            job.map_duration_stats.0 += dur;
+            job.map_duration_stats.1 += 1;
+            node
+        };
+        self.trackers.get_mut(&node).map(|t| t.running.remove(&att));
+        out.notes.extend(self.kill_siblings(att));
+        // Announce the new output to running reduce attempts.
+        let site = topo.site_of(node);
+        let part = self.partition_bytes(jid);
+        let job = &mut self.jobs[jid.0 as usize];
+        for (ratt, plan) in job.reduce_plans.iter_mut() {
+            plan.map_available(att.task.index, node, site, part);
+            out.wake_reduces.push(*ratt);
+        }
+        out.wake_reduces.sort();
+        // A re-executed map can be the last piece of an otherwise-finished
+        // job (every reduce already completed before the original output
+        // was lost).
+        out.notes.extend(self.maybe_complete_job(now, jid));
+        out
+    }
+
+    /// Close the job if everything is done. Idempotent.
+    fn maybe_complete_job(&mut self, now: SimTime, jid: JobId) -> Vec<JtNote> {
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.status != JobStatus::Running || !job.all_done() {
+            return Vec::new();
+        }
+        if job.spec.reduces == 0 && job.spec.maps() > 0 {
+            // Map-only jobs complete via try_complete_maponly (kept
+            // separate so the mediator controls when it fires).
+            return Vec::new();
+        }
+        job.status = JobStatus::Succeeded;
+        job.finished = Some(now);
+        self.counters.jobs_completed += 1;
+        self.retire_job(jid);
+        vec![JtNote::JobCompleted { job: jid }]
+    }
+
+    /// Kill the other running attempts of `att`'s task.
+    fn kill_siblings(&mut self, att: AttemptRef) -> Vec<JtNote> {
+        let mut notes = Vec::new();
+        let job = &mut self.jobs[att.task.job.0 as usize];
+        let ts = job.task_mut(att.task);
+        let mut to_kill: Vec<(u8, NodeId)> = Vec::new();
+        for (i, a) in ts.attempts.iter_mut().enumerate() {
+            if i as u8 != att.attempt && a.phase == AttemptPhase::Running {
+                a.phase = AttemptPhase::Killed;
+                to_kill.push((i as u8, a.node));
+            }
+        }
+        for (i, node) in to_kill {
+            let sibling = AttemptRef {
+                task: att.task,
+                attempt: i,
+            };
+            if let Some(t) = self.trackers.get_mut(&node) {
+                t.running.remove(&sibling);
+            }
+            job.reduce_plans.remove(&sibling);
+            self.sorting.remove(&sibling);
+            notes.push(JtNote::KillAttempt {
+                attempt: sibling,
+                node,
+            });
+        }
+        notes
+    }
+
+    /// An attempt failed. Counts toward the task's failure budget and the
+    /// per-job tracker blacklist; requeues the task unless a sibling still
+    /// runs; fails the job at `max_attempts`.
+    pub fn attempt_failed(
+        &mut self,
+        now: SimTime,
+        att: AttemptRef,
+        reason: FailReason,
+    ) -> Vec<JtNote> {
+        if !self.attempt_active(att) {
+            return Vec::new();
+        }
+        self.counters.failures += 1;
+        let node = self.jobs[att.task.job.0 as usize].task(att.task).attempts
+            [att.attempt as usize]
+            .node;
+        {
+            let job = &mut self.jobs[att.task.job.0 as usize];
+            *job.tracker_failures.entry(node).or_insert(0) += 1;
+        }
+        let _ = reason;
+        self.abort_attempt(now, att, node, true)
+    }
+
+    /// Common path for failure (`blame = true`) and node-death requeue
+    /// (`blame = false`). The tracker's slot is freed by the caller when
+    /// the tracker is dead; otherwise here.
+    fn abort_attempt(
+        &mut self,
+        now: SimTime,
+        att: AttemptRef,
+        node: NodeId,
+        blame: bool,
+    ) -> Vec<JtNote> {
+        let mut notes = Vec::new();
+        let jid = att.task.job;
+        let max_attempts = self.cfg.max_attempts;
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.status != JobStatus::Running {
+            return notes;
+        }
+        let ts = job.task_mut(att.task);
+        let Some(a) = ts.attempts.get_mut(att.attempt as usize) else {
+            return notes;
+        };
+        if a.phase != AttemptPhase::Running {
+            return notes;
+        }
+        a.phase = if blame {
+            AttemptPhase::Failed
+        } else {
+            AttemptPhase::Killed
+        };
+        if blame {
+            ts.failures += 1;
+        }
+        let exhausted = blame && ts.failures >= max_attempts;
+        let still_running = ts.running_attempts() > 0;
+        if let Some(t) = self.trackers.get_mut(&node) {
+            t.running.remove(&att);
+        }
+        // Drop any shuffle state of a failed reduce attempt.
+        self.jobs[jid.0 as usize].reduce_plans.remove(&att);
+        self.sorting.remove(&att);
+        if exhausted {
+            notes.extend(self.fail_job(jid));
+            return notes;
+        }
+        if !still_running && !self.jobs[jid.0 as usize].task(att.task).done {
+            let backoff = self.cfg.retry_backoff;
+            let job = &mut self.jobs[jid.0 as usize];
+            if blame {
+                // Retry backoff: don't immediately hand the task back out.
+                job.retry_after
+                    .insert((att.task.kind, att.task.index), now + backoff);
+            }
+            match att.task.kind {
+                TaskKind::Map => {
+                    job.pending_maps.insert(att.task.index);
+                }
+                TaskKind::Reduce => {
+                    job.pending_reduces.insert(att.task.index);
+                }
+            }
+        }
+        notes
+    }
+
+    fn fail_job(&mut self, jid: JobId) -> Vec<JtNote> {
+        let mut notes = Vec::new();
+        self.counters.jobs_failed += 1;
+        let job = &mut self.jobs[jid.0 as usize];
+        job.status = JobStatus::Failed;
+        job.finished = None;
+        // Kill every running attempt of the job.
+        let mut to_kill: Vec<(AttemptRef, NodeId)> = Vec::new();
+        for (kind, tasks) in [
+            (TaskKind::Map, &mut job.maps),
+            (TaskKind::Reduce, &mut job.reduces),
+        ] {
+            for (i, ts) in tasks.iter_mut().enumerate() {
+                for (ai, a) in ts.attempts.iter_mut().enumerate() {
+                    if a.phase == AttemptPhase::Running {
+                        a.phase = AttemptPhase::Killed;
+                        to_kill.push((
+                            AttemptRef {
+                                task: TaskRef {
+                                    job: jid,
+                                    kind,
+                                    index: i as u32,
+                                },
+                                attempt: ai as u8,
+                            },
+                            a.node,
+                        ));
+                    }
+                }
+            }
+        }
+        job.reduce_plans.clear();
+        for (att, node) in to_kill {
+            if let Some(t) = self.trackers.get_mut(&node) {
+                t.running.remove(&att);
+            }
+            self.sorting.remove(&att);
+            notes.push(JtNote::KillAttempt { attempt: att, node });
+        }
+        self.retire_job(jid);
+        notes.push(JtNote::JobFailed { job: jid });
+        notes
+    }
+
+    /// Free the job's scratch space everywhere and drop it from the FIFO.
+    fn retire_job(&mut self, jid: JobId) {
+        let scratch = std::mem::take(&mut self.jobs[jid.0 as usize].scratch_by_node);
+        for (node, bytes) in scratch {
+            if let Some(t) = self.trackers.get_mut(&node) {
+                t.release_scratch(bytes);
+            }
+        }
+        self.fifo.retain(|&j| j != jid);
+    }
+
+    // ------------------------------------------------------------------
+    // Reduce-side protocol
+    // ------------------------------------------------------------------
+
+    /// What should this reduce attempt do now? Called after assignment,
+    /// after each fetch completes/fails, and when woken by new map output.
+    pub fn reduce_next(&mut self, att: AttemptRef) -> ReduceStep {
+        if !self.attempt_active(att) || self.sorting.contains(&att) {
+            return ReduceStep::Wait;
+        }
+        let parallel = self.cfg.shuffle_parallel;
+        let jid = att.task.job;
+        let job = &mut self.jobs[jid.0 as usize];
+        let all_maps_done = job.all_maps_done();
+        let Some(plan) = job.reduce_plans.get_mut(&att) else {
+            return ReduceStep::Wait;
+        };
+        let orders = plan.next_orders(parallel);
+        if !orders.is_empty() {
+            return ReduceStep::Fetch(orders);
+        }
+        if plan.complete() && all_maps_done {
+            self.sorting.insert(att);
+            let spec = &self.jobs[jid.0 as usize].spec;
+            return ReduceStep::StartSort {
+                cpu_secs: spec.reduce_cpu_secs,
+                output_bytes: spec.reduce_output_bytes,
+                replication: spec.output_replication,
+            };
+        }
+        ReduceStep::Wait
+    }
+
+    /// A shuffle fetch finished.
+    pub fn fetch_done(&mut self, att: AttemptRef, order: u64) {
+        if let Some(plan) = self.jobs[att.task.job.0 as usize].reduce_plans.get_mut(&att) {
+            plan.fetch_done(order);
+        }
+    }
+
+    /// A shuffle fetch failed (source died or its data is gone). The
+    /// affected maps become sourceless; each accrues a fetch-failure
+    /// strike, and past `fetch_fail_threshold` the map's output is
+    /// declared lost and the map re-executed ("too many fetch failures" —
+    /// this is what eventually evicts zombie-hosted outputs). Maps whose
+    /// outputs still exist on live trackers are re-announced.
+    pub fn fetch_failed(&mut self, att: AttemptRef, order: u64, topo: &Topology) {
+        let jid = att.task.job;
+        let part = self.partition_bytes(jid);
+        let threshold = self.cfg.fetch_fail_threshold;
+        let tracker_alive: HashSet<NodeId> = self
+            .trackers
+            .iter()
+            .filter(|(_, t)| t.liveness == TrackerLiveness::Live)
+            .map(|(&n, _)| n)
+            .collect();
+        let job = &mut self.jobs[jid.0 as usize];
+        // Snapshot surviving outputs before borrowing the plan mutably.
+        let sources: Vec<(u32, NodeId)> = job
+            .maps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.completed_on.filter(|_| t.done).map(|n| (i as u32, n)))
+            .collect();
+        let failed_maps = match job.reduce_plans.get_mut(&att) {
+            Some(plan) => plan.fetch_failed(order),
+            None => Vec::new(),
+        };
+        // Strike the failed maps; re-execute those past the threshold.
+        let mut reexecute: Vec<u32> = Vec::new();
+        for &m in &failed_maps {
+            let strikes = job.map_fetch_failures.entry(m).or_insert(0);
+            *strikes += 1;
+            if *strikes >= threshold && job.maps[m as usize].done {
+                reexecute.push(m);
+            }
+        }
+        for m in &reexecute {
+            let task = &mut job.maps[*m as usize];
+            task.done = false;
+            task.completed_on = None;
+            job.maps_done -= 1;
+            job.pending_maps.insert(*m);
+            job.map_fetch_failures.remove(m);
+            for plan in job.reduce_plans.values_mut() {
+                plan.map_lost(*m);
+            }
+        }
+        // Re-announce maps whose outputs still exist (and were not just
+        // declared lost).
+        if let Some(plan) = job.reduce_plans.get_mut(&att) {
+            for (m, n) in sources {
+                if tracker_alive.contains(&n) && !reexecute.contains(&m) {
+                    plan.map_available(m, n, topo.site_of(n), part);
+                }
+            }
+        }
+    }
+
+    /// The reduce attempt wrote its output to HDFS: the task is complete.
+    pub fn reduce_done(&mut self, now: SimTime, att: AttemptRef) -> Vec<JtNote> {
+        if !self.attempt_active(att) {
+            return Vec::new();
+        }
+        let jid = att.task.job;
+        let node = {
+            let job = &mut self.jobs[jid.0 as usize];
+            let ts = job.task_mut(att.task);
+            let a = &mut ts.attempts[att.attempt as usize];
+            a.phase = AttemptPhase::Succeeded;
+            let node = a.node;
+            let dur = now.saturating_since(a.started).as_secs_f64();
+            ts.done = true;
+            ts.completed_on = Some(node);
+            job.reduces_done += 1;
+            job.reduce_duration_stats.0 += dur;
+            job.reduce_duration_stats.1 += 1;
+            node
+        };
+        if let Some(t) = self.trackers.get_mut(&node) {
+            t.running.remove(&att);
+        }
+        self.jobs[jid.0 as usize].reduce_plans.remove(&att);
+        self.sorting.remove(&att);
+        let mut notes = self.kill_siblings(att);
+        notes.extend(self.maybe_complete_job(now, jid));
+        notes
+    }
+
+    /// Map-only jobs: the mediator calls this after every map completes to
+    /// close jobs with zero reduces.
+    pub fn try_complete_maponly(&mut self, now: SimTime, jid: JobId) -> Vec<JtNote> {
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.status == JobStatus::Running && job.spec.reduces == 0 && job.all_maps_done() {
+            job.status = JobStatus::Succeeded;
+            job.finished = Some(now);
+            self.counters.jobs_completed += 1;
+            self.retire_job(jid);
+            return vec![JtNote::JobCompleted { job: jid }];
+        }
+        Vec::new()
+    }
+
+    /// Scratch usage of a tracker (disk-overflow reporting).
+    pub fn tracker_scratch(&self, node: NodeId) -> Option<(u64, u64)> {
+        self.trackers
+            .get(&node)
+            .map(|t| (t.scratch_used, t.scratch_capacity))
+    }
+
+    /// Immutable tracker view (tests).
+    pub fn tracker(&self, node: NodeId) -> Option<&TrackerState> {
+        self.trackers.get(&node)
+    }
+
+    /// Deterministic RNG access for mediator-level tie-breaks that should
+    /// share the JobTracker's stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,123 @@
+//! TaskTracker state as held by the JobTracker.
+
+use crate::job::TaskKind;
+use crate::AttemptRef;
+use hog_sim_core::SimTime;
+use std::collections::BTreeSet;
+
+/// Liveness of a tracker from the JobTracker's viewpoint (mirrors the
+/// namenode's view of datanodes; HOG lowers both timeouts together).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrackerLiveness {
+    /// Heartbeating.
+    Live,
+    /// Stopped heartbeating, timeout pending.
+    Silent,
+    /// Declared dead.
+    Dead,
+}
+
+/// Per-tracker record.
+#[derive(Clone, Debug)]
+pub struct TrackerState {
+    /// Concurrent map tasks this node may run (1 on HOG glideins; per
+    /// Table III, 4 or 2 on the dedicated cluster).
+    pub map_slots: u8,
+    /// Concurrent reduce tasks (1 everywhere in the paper).
+    pub reduce_slots: u8,
+    /// Attempts currently running here.
+    pub running: BTreeSet<AttemptRef>,
+    /// Last heartbeat instant.
+    pub last_heartbeat: SimTime,
+    /// Liveness.
+    pub liveness: TrackerLiveness,
+    /// Scratch disk capacity for intermediate data.
+    pub scratch_capacity: u64,
+    /// Scratch bytes in use (map outputs of unfinished jobs).
+    pub scratch_used: u64,
+}
+
+impl TrackerState {
+    /// A fresh tracker.
+    pub fn new(map_slots: u8, reduce_slots: u8, scratch: u64, now: SimTime) -> Self {
+        TrackerState {
+            map_slots,
+            reduce_slots,
+            running: BTreeSet::new(),
+            last_heartbeat: now,
+            liveness: TrackerLiveness::Live,
+            scratch_capacity: scratch,
+            scratch_used: 0,
+        }
+    }
+
+    /// Running attempts of a kind.
+    pub fn running_of(&self, kind: TaskKind) -> usize {
+        self.running.iter().filter(|a| a.task.kind == kind).count()
+    }
+
+    /// Free map slots.
+    pub fn free_map_slots(&self) -> usize {
+        (self.map_slots as usize).saturating_sub(self.running_of(TaskKind::Map))
+    }
+
+    /// Free reduce slots.
+    pub fn free_reduce_slots(&self) -> usize {
+        (self.reduce_slots as usize).saturating_sub(self.running_of(TaskKind::Reduce))
+    }
+
+    /// Reserve scratch space for intermediate data; `false` = disk full
+    /// (the §IV-D.2 failure).
+    pub fn try_reserve_scratch(&mut self, bytes: u64) -> bool {
+        if self.scratch_used + bytes > self.scratch_capacity {
+            return false;
+        }
+        self.scratch_used += bytes;
+        true
+    }
+
+    /// Release scratch space (job retired or attempt discarded).
+    pub fn release_scratch(&mut self, bytes: u64) {
+        self.scratch_used = self.scratch_used.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, TaskRef};
+
+    fn att(kind: TaskKind, idx: u32) -> AttemptRef {
+        AttemptRef {
+            task: TaskRef {
+                job: JobId(0),
+                kind,
+                index: idx,
+            },
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let mut t = TrackerState::new(4, 1, 1000, SimTime::ZERO);
+        assert_eq!(t.free_map_slots(), 4);
+        t.running.insert(att(TaskKind::Map, 0));
+        t.running.insert(att(TaskKind::Map, 1));
+        t.running.insert(att(TaskKind::Reduce, 0));
+        assert_eq!(t.free_map_slots(), 2);
+        assert_eq!(t.free_reduce_slots(), 0);
+    }
+
+    #[test]
+    fn scratch_reservation() {
+        let mut t = TrackerState::new(1, 1, 100, SimTime::ZERO);
+        assert!(t.try_reserve_scratch(60));
+        assert!(!t.try_reserve_scratch(41), "over capacity");
+        assert!(t.try_reserve_scratch(40));
+        t.release_scratch(60);
+        assert_eq!(t.scratch_used, 40);
+        t.release_scratch(1000); // saturates
+        assert_eq!(t.scratch_used, 0);
+    }
+}

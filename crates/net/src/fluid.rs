@@ -1,0 +1,668 @@
+//! Event-driven max-min fair fluid-flow network.
+//!
+//! Every in-flight transfer is a *fluid flow* with a current rate assigned
+//! by progressive filling (water-filling) over the links it traverses:
+//!
+//! * intra-site flow: `src NIC up → dst NIC down`
+//! * inter-site flow: `src NIC up → src site uplink → dst site downlink →
+//!   dst NIC down`
+//! * loopback (src == dst): a fixed unshared local-copy rate
+//!
+//! Whenever the flow set changes (start, cancel, completion, node death)
+//! all flows are first progressed to the current instant with their old
+//! rates and then rates are recomputed. This is the classic NS-style fluid
+//! approximation: it captures the paper's key effects — WAN shuffle is slow
+//! because many reducers share one site uplink, while intra-site traffic
+//! only contends for NICs — without packet-level cost.
+//!
+//! Propagation latency is deliberately **not** folded into flow completion
+//! times; bulk transfers are bandwidth-dominated and RPC latency is modelled
+//! explicitly by the substrates via [`Network::latency`].
+
+use crate::params::NetParams;
+use crate::topology::{NodeId, SiteId};
+use crate::{FlowEnd, FlowId, FlowOutcome, Network};
+use hog_sim_core::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One shared capacity on a flow's path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum LinkKey {
+    NodeUp(NodeId),
+    NodeDown(NodeId),
+    SiteUp(SiteId),
+    SiteDown(SiteId),
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    id: FlowId,
+    tag: u64,
+    src: NodeId,
+    dst: NodeId,
+    /// Links this flow traverses (empty for loopback).
+    path: Vec<LinkKey>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// The fluid network model. See the module docs for semantics.
+pub struct FluidNet {
+    params: NetParams,
+    sites_of: HashMap<NodeId, SiteId>,
+    flows: Vec<Flow>,
+    finished: Vec<FlowEnd>,
+    last_update: SimTime,
+    next_flow_id: u64,
+    /// Number of rate recomputations performed (diagnostics / benches).
+    recomputes: u64,
+}
+
+/// Completion threshold: a flow with fewer than this many bytes left is
+/// done. Covers f64 rounding noise from progressing at millisecond grain.
+const DONE_EPS: f64 = 0.5;
+
+impl FluidNet {
+    /// A fluid network with the given parameters.
+    pub fn new(params: NetParams) -> Self {
+        FluidNet {
+            params,
+            sites_of: HashMap::new(),
+            flows: Vec::new(),
+            finished: Vec::new(),
+            last_update: SimTime::ZERO,
+            next_flow_id: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Diagnostics: how many rate recomputations have run.
+    pub fn recompute_count(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// The current rate of a flow, if it is still active (testing hook).
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+    }
+
+    fn cap_of(&self, link: LinkKey) -> f64 {
+        match link {
+            LinkKey::NodeUp(_) => self.params.nic_up,
+            LinkKey::NodeDown(_) => self.params.nic_down,
+            LinkKey::SiteUp(_) => self.params.site_up,
+            LinkKey::SiteDown(_) => self.params.site_down,
+        }
+    }
+
+    fn path_for(&self, src: NodeId, dst: NodeId, diffuse_src: bool) -> Vec<LinkKey> {
+        if src == dst {
+            return Vec::new();
+        }
+        let ss = self.sites_of[&src];
+        let ds = self.sites_of[&dst];
+        if ss == ds {
+            if diffuse_src {
+                vec![LinkKey::NodeDown(dst)]
+            } else {
+                vec![LinkKey::NodeUp(src), LinkKey::NodeDown(dst)]
+            }
+        } else if diffuse_src {
+            vec![
+                LinkKey::SiteUp(ss),
+                LinkKey::SiteDown(ds),
+                LinkKey::NodeDown(dst),
+            ]
+        } else {
+            vec![
+                LinkKey::NodeUp(src),
+                LinkKey::SiteUp(ss),
+                LinkKey::SiteDown(ds),
+                LinkKey::NodeDown(dst),
+            ]
+        }
+    }
+
+    fn push_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+        diffuse_src: bool,
+    ) -> FlowId {
+        assert!(
+            self.sites_of.contains_key(&src) && self.sites_of.contains_key(&dst),
+            "both endpoints must be registered"
+        );
+        self.progress_to(now);
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        let path = self.path_for(src, dst, diffuse_src);
+        self.flows.push(Flow {
+            id,
+            tag,
+            src,
+            dst,
+            path,
+            remaining: bytes as f64,
+            rate: 0.0,
+        });
+        self.recompute_rates();
+        id
+    }
+
+    /// Drain progress for all flows up to `now` with the *current* rates,
+    /// moving completed flows into the finished buffer.
+    fn progress_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        let dt = (now.saturating_since(self.last_update)).as_secs_f64();
+        self.last_update = now;
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                f.remaining -= f.rate * dt;
+            }
+        }
+        let mut i = 0;
+        let mut any_done = false;
+        while i < self.flows.len() {
+            if self.flows[i].remaining < DONE_EPS {
+                let f = self.flows.swap_remove(i);
+                self.finished.push(FlowEnd {
+                    id: f.id,
+                    tag: f.tag,
+                    src: f.src,
+                    dst: f.dst,
+                    outcome: FlowOutcome::Completed,
+                });
+                any_done = true;
+            } else {
+                i += 1;
+            }
+        }
+        if any_done {
+            self.recompute_rates();
+        }
+    }
+
+    /// Max-min fair progressive filling over the links used by the active
+    /// flow set. Loopback flows get the fixed loopback rate.
+    ///
+    /// Implementation notes (this runs on every flow-set change, so it is
+    /// the hottest function of a large simulation): links are densely
+    /// indexed per recompute, flow→link adjacency is built once, and each
+    /// round freezes *every* link currently at the minimum fair share —
+    /// in homogeneous clusters (all NICs equal) that collapses thousands
+    /// of tie-broken rounds into a handful.
+    fn recompute_rates(&mut self) {
+        self.recomputes += 1;
+        let n_flows = self.flows.len();
+        // Dense link table.
+        let mut link_ids: HashMap<LinkKey, u32> = HashMap::new();
+        let mut residual: Vec<f64> = Vec::new();
+        let mut unfrozen_on: Vec<u32> = Vec::new();
+        let mut flows_on: Vec<Vec<u32>> = Vec::new();
+        let mut flow_links: Vec<[u32; 4]> = vec![[u32::MAX; 4]; n_flows];
+        let mut frozen: Vec<bool> = vec![false; n_flows];
+        let mut n_unfrozen = 0usize;
+
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if f.path.is_empty() {
+                f.rate = self.params.loopback;
+                frozen[i] = true;
+                continue;
+            }
+            n_unfrozen += 1;
+            for (k, &l) in f.path.iter().enumerate() {
+                let id = *link_ids.entry(l).or_insert_with(|| {
+                    residual.push(0.0);
+                    unfrozen_on.push(0);
+                    flows_on.push(Vec::new());
+                    (residual.len() - 1) as u32
+                });
+                flow_links[i][k] = id;
+                unfrozen_on[id as usize] += 1;
+                flows_on[id as usize].push(i as u32);
+            }
+        }
+        for (l, &id) in &link_ids {
+            residual[id as usize] = self.cap_of(*l);
+        }
+
+        while n_unfrozen > 0 {
+            // Minimum fair share among links still carrying unfrozen flows.
+            let mut min_share = f64::INFINITY;
+            for id in 0..residual.len() {
+                let n = unfrozen_on[id];
+                if n == 0 {
+                    continue;
+                }
+                let share = residual[id].max(0.0) / n as f64;
+                if share < min_share {
+                    min_share = share;
+                }
+            }
+            if !min_share.is_finite() {
+                break;
+            }
+            let cutoff = min_share * (1.0 + 1e-9) + 1e-9;
+            // Freeze flows on every link at the minimum share.
+            let mut froze_any = false;
+            for id in 0..residual.len() {
+                let n = unfrozen_on[id];
+                if n == 0 {
+                    continue;
+                }
+                let share = residual[id].max(0.0) / n as f64;
+                if share > cutoff {
+                    continue;
+                }
+                // Iterate a snapshot: freezing mutates unfrozen counts.
+                let snapshot = std::mem::take(&mut flows_on[id]);
+                for &fi in &snapshot {
+                    let fi = fi as usize;
+                    if frozen[fi] {
+                        continue;
+                    }
+                    self.flows[fi].rate = min_share;
+                    frozen[fi] = true;
+                    n_unfrozen -= 1;
+                    froze_any = true;
+                    for &lid in &flow_links[fi] {
+                        if lid == u32::MAX {
+                            break;
+                        }
+                        residual[lid as usize] -= min_share;
+                        unfrozen_on[lid as usize] -= 1;
+                    }
+                }
+            }
+            if !froze_any {
+                break; // numerical safety: should be unreachable
+            }
+        }
+    }
+
+    /// Projected completion instant of flow `f` given its current rate.
+    fn projected_finish(&self, f: &Flow) -> Option<SimTime> {
+        if f.remaining < DONE_EPS {
+            return Some(self.last_update);
+        }
+        if f.rate <= 0.0 {
+            return None;
+        }
+        let secs = f.remaining / f.rate;
+        // Round *up* to the next millisecond so that progressing to the
+        // scheduled instant always drains the flow below DONE_EPS.
+        let ms = (secs * 1000.0).ceil().max(1.0);
+        Some(self.last_update + SimDuration::from_millis(ms as u64))
+    }
+}
+
+impl Network for FluidNet {
+    fn register_node(&mut self, node: NodeId, site: SiteId) {
+        self.sites_of.insert(node, site);
+    }
+
+    fn remove_node(&mut self, now: SimTime, node: NodeId) -> Vec<FlowEnd> {
+        self.progress_to(now);
+        let mut killed = Vec::new();
+        let mut i = 0;
+        while i < self.flows.len() {
+            if self.flows[i].src == node || self.flows[i].dst == node {
+                let f = self.flows.swap_remove(i);
+                killed.push(FlowEnd {
+                    id: f.id,
+                    tag: f.tag,
+                    src: f.src,
+                    dst: f.dst,
+                    outcome: FlowOutcome::Killed,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.sites_of.remove(&node);
+        if !killed.is_empty() {
+            self.recompute_rates();
+        }
+        killed
+    }
+
+    fn latency(&self, src: NodeId, dst: NodeId) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        match (self.sites_of.get(&src), self.sites_of.get(&dst)) {
+            (Some(a), Some(b)) if a == b => self.params.intra_site_latency,
+            _ => self.params.inter_site_latency,
+        }
+    }
+
+    fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> FlowId {
+        self.push_flow(now, src, dst, bytes, tag, false)
+    }
+
+    fn start_flow_diffuse(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> FlowId {
+        self.push_flow(now, src, dst, bytes, tag, true)
+    }
+
+    fn cancel_flow(&mut self, now: SimTime, id: FlowId) {
+        self.progress_to(now);
+        if let Some(pos) = self.flows.iter().position(|f| f.id == id) {
+            self.flows.swap_remove(pos);
+            self.recompute_rates();
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) -> Vec<FlowEnd> {
+        self.progress_to(now);
+        std::mem::take(&mut self.finished)
+    }
+
+    fn next_completion(&self) -> Option<SimTime> {
+        if !self.finished.is_empty() {
+            return Some(self.last_update);
+        }
+        self.flows
+            .iter()
+            .filter_map(|f| self.projected_finish(f))
+            .min()
+    }
+
+    fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hog_sim_core::units::{gbit_per_s, MIB};
+    use proptest::prelude::*;
+
+    fn two_site_net() -> (FluidNet, Vec<NodeId>, Vec<NodeId>) {
+        let mut net = FluidNet::new(NetParams::grid_default());
+        let s0 = SiteId(0);
+        let s1 = SiteId(1);
+        let a: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let b: Vec<NodeId> = (4..8).map(NodeId).collect();
+        for &n in &a {
+            net.register_node(n, s0);
+        }
+        for &n in &b {
+            net.register_node(n, s1);
+        }
+        (net, a, b)
+    }
+
+    /// Drain the network to completion, returning (time, ends).
+    fn drain(net: &mut FluidNet) -> Vec<(SimTime, FlowEnd)> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_completion() {
+            for e in net.advance(t) {
+                out.push((t, e));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_intra_site_flow_runs_at_nic_speed() {
+        let (mut net, a, _) = two_site_net();
+        // 125 MB at 1 Gbps = 1.0 s
+        net.start_flow(SimTime::ZERO, a[0], a[1], 125_000_000, 1);
+        let ends = drain(&mut net);
+        assert_eq!(ends.len(), 1);
+        let (t, e) = ends[0];
+        assert_eq!(e.outcome, FlowOutcome::Completed);
+        assert_eq!(e.tag, 1);
+        let secs = t.as_secs_f64();
+        assert!((secs - 1.0).abs() < 0.01, "took {secs}s, expected ~1s");
+    }
+
+    #[test]
+    fn two_flows_share_the_source_nic() {
+        let (mut net, a, _) = two_site_net();
+        net.start_flow(SimTime::ZERO, a[0], a[1], 125_000_000, 1);
+        net.start_flow(SimTime::ZERO, a[0], a[2], 125_000_000, 2);
+        // Both share a0's 1 Gbps uplink -> 0.5 Gbps each -> ~2 s.
+        let ends = drain(&mut net);
+        assert_eq!(ends.len(), 2);
+        for (t, _) in ends {
+            assert!((t.as_secs_f64() - 2.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn inter_site_flows_bottleneck_on_site_uplink() {
+        let (mut net, a, b) = two_site_net();
+        // 8 cross-site flows from 4 distinct sources (2 each). Site uplink
+        // is 5 Gbps, NICs are 1 Gbps: per-source NIC is the bottleneck at
+        // 0.5 Gbps per flow (8 * 0.5 = 4 < 5).
+        for (i, (&src, &dst)) in a.iter().cycle().zip(b.iter().cycle()).take(8).enumerate() {
+            net.start_flow(SimTime::ZERO, src, dst, 62_500_000, i as u64);
+        }
+        let r = net.rate_of(FlowId(0)).unwrap();
+        assert!((r - gbit_per_s(0.5)).abs() < 1.0, "rate {r}");
+    }
+
+    #[test]
+    fn many_sources_saturate_site_uplink() {
+        let mut net = FluidNet::new(NetParams::grid_default());
+        let s0 = SiteId(0);
+        let s1 = SiteId(1);
+        // 12 sources at s0, 12 sinks at s1 => demand 12 Gbps > 6 Gbps uplink.
+        for i in 0..12 {
+            net.register_node(NodeId(i), s0);
+            net.register_node(NodeId(100 + i), s1);
+        }
+        for i in 0..12 {
+            net.start_flow(SimTime::ZERO, NodeId(i), NodeId(100 + i), 10 * MIB, i as u64);
+        }
+        let share = NetParams::grid_default().site_up / 12.0;
+        for i in 0..12 {
+            let r = net.rate_of(FlowId(i)).unwrap();
+            assert!(
+                (r - share).abs() < 1.0,
+                "flow {i} should get 1/12 of the site uplink, got {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn textbook_max_min_example() {
+        // One slow flow crossing the WAN plus one fast intra-site flow on
+        // disjoint links: the intra-site flow must not be throttled.
+        let (mut net, a, b) = two_site_net();
+        net.start_flow(SimTime::ZERO, a[0], b[0], 100 * MIB, 0);
+        net.start_flow(SimTime::ZERO, a[2], a[3], 100 * MIB, 1);
+        let r0 = net.rate_of(FlowId(0)).unwrap();
+        let r1 = net.rate_of(FlowId(1)).unwrap();
+        assert!((r0 - gbit_per_s(1.0)).abs() < 1.0);
+        assert!((r1 - gbit_per_s(1.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn diffuse_flows_skip_source_nic() {
+        let (mut net, a, b) = two_site_net();
+        // Two diffuse cross-site flows sharing one representative source:
+        // with a normal source they'd halve the 1 Gbps NIC; diffuse they
+        // only share the 5 Gbps site uplink and distinct receiver NICs, so
+        // each gets a full 1 Gbps (receiver-limited).
+        net.start_flow_diffuse(SimTime::ZERO, a[0], b[0], 100 * MIB, 0);
+        net.start_flow_diffuse(SimTime::ZERO, a[0], b[1], 100 * MIB, 1);
+        for i in 0..2 {
+            let r = net.rate_of(FlowId(i)).unwrap();
+            assert!((r - gbit_per_s(1.0)).abs() < 1.0, "flow {i} rate {r}");
+        }
+        // Intra-site diffuse: only the receiver NIC constrains.
+        net.start_flow_diffuse(SimTime::ZERO, a[1], a[2], 100 * MIB, 2);
+        net.start_flow(SimTime::ZERO, a[3], a[2], 100 * MIB, 3);
+        // Both share a2's downlink NIC: 0.5 Gbps each.
+        let r2 = net.rate_of(FlowId(2)).unwrap();
+        assert!((r2 - gbit_per_s(0.5)).abs() < 1.0, "rate {r2}");
+    }
+
+    #[test]
+    fn loopback_flows_use_loopback_rate() {
+        let (mut net, a, _) = two_site_net();
+        net.start_flow(SimTime::ZERO, a[0], a[0], 100 * MIB, 0);
+        let r = net.rate_of(FlowId(0)).unwrap();
+        assert_eq!(r, NetParams::grid_default().loopback);
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_survivors() {
+        let (mut net, a, _) = two_site_net();
+        // Short and long flow share a0's NIC.
+        net.start_flow(SimTime::ZERO, a[0], a[1], 62_500_000, 0); // 0.5 Gb-s worth
+        net.start_flow(SimTime::ZERO, a[0], a[2], 250_000_000, 1);
+        // Phase 1: both at 0.5 Gbps. Short one (62.5 MB) finishes at t=1s.
+        let t1 = net.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 0.01);
+        let ends = net.advance(t1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].tag, 0);
+        // Survivor now gets the full NIC: 250-62.5=187.5 MB left at 1 Gbps
+        // -> finishes 1.5 s later.
+        let t2 = net.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 2.5).abs() < 0.02, "t2={t2}");
+    }
+
+    #[test]
+    fn remove_node_kills_its_flows() {
+        let (mut net, a, b) = two_site_net();
+        net.start_flow(SimTime::ZERO, a[0], b[0], 100 * MIB, 7);
+        net.start_flow(SimTime::ZERO, a[1], a[2], 100 * MIB, 8);
+        let killed = net.remove_node(SimTime::from_millis(10), a[0]);
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].tag, 7);
+        assert_eq!(killed[0].outcome, FlowOutcome::Killed);
+        assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
+    fn cancel_is_silent_and_idempotent() {
+        let (mut net, a, _) = two_site_net();
+        let id = net.start_flow(SimTime::ZERO, a[0], a[1], 100 * MIB, 0);
+        net.cancel_flow(SimTime::from_millis(5), id);
+        net.cancel_flow(SimTime::from_millis(6), id); // unknown now: ignored
+        assert_eq!(net.active_flows(), 0);
+        assert!(net.advance(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let (mut net, a, _) = two_site_net();
+        net.start_flow(SimTime::from_secs(1), a[0], a[1], 0, 3);
+        let t = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        let ends = net.advance(t);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].outcome, FlowOutcome::Completed);
+    }
+
+    #[test]
+    fn latency_classes() {
+        let (net, a, b) = two_site_net();
+        let p = NetParams::grid_default();
+        assert_eq!(net.latency(a[0], a[1]), p.intra_site_latency);
+        assert_eq!(net.latency(a[0], b[0]), p.inter_site_latency);
+        assert_eq!(net.latency(a[0], a[0]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut net, a, b) = two_site_net();
+            let mut trace = Vec::new();
+            net.start_flow(SimTime::ZERO, a[0], b[0], 77 * MIB, 0);
+            net.start_flow(SimTime::from_millis(300), a[1], b[1], 33 * MIB, 1);
+            net.start_flow(SimTime::from_millis(700), a[0], a[2], 10 * MIB, 2);
+            for (t, e) in drain(&mut net) {
+                trace.push((t.as_millis(), e.tag));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Invariant: after any sequence of flow starts, per-link committed
+        /// bandwidth never exceeds capacity and every flow has a positive
+        /// rate (work conservation: rates are only zero if a link is dead).
+        #[test]
+        fn prop_rates_feasible(specs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..200_000_000), 1..40)) {
+            let (mut net, _, _) = two_site_net();
+            for (i, &(s, d, bytes)) in specs.iter().enumerate() {
+                net.start_flow(SimTime::ZERO, NodeId(s), NodeId(d), bytes, i as u64);
+            }
+            // Reconstruct link loads from the flow table.
+            let mut loads: std::collections::HashMap<String, f64> = Default::default();
+            let p = *net.params();
+            for i in 0..specs.len() {
+                let id = FlowId(i as u64);
+                if let Some(r) = net.rate_of(id) {
+                    prop_assert!(r > 0.0, "flow {i} starved");
+                    let (s, d, _) = specs[i];
+                    if s == d { continue; }
+                    *loads.entry(format!("up{s}")).or_default() += r;
+                    *loads.entry(format!("down{d}")).or_default() += r;
+                    let ss = if s < 4 {0} else {1};
+                    let ds = if d < 4 {0} else {1};
+                    if ss != ds {
+                        *loads.entry(format!("siteup{ss}")).or_default() += r;
+                        *loads.entry(format!("sitedown{ds}")).or_default() += r;
+                    }
+                }
+            }
+            for (k, v) in loads {
+                let cap = if k.starts_with("site") { p.site_up } else { p.nic_up };
+                prop_assert!(v <= cap * 1.0001, "link {k} overloaded: {v} > {cap}");
+            }
+        }
+
+        /// All flows eventually complete, exactly once each.
+        #[test]
+        fn prop_all_flows_complete(specs in proptest::collection::vec((0u32..8, 0u32..8, 0u64..50_000_000, 0u64..5_000u64), 1..30)) {
+            let (mut net, _, _) = two_site_net();
+            let mut last_start = SimTime::ZERO;
+            for (i, &(s, d, bytes, delay)) in specs.iter().enumerate() {
+                let t = last_start + hog_sim_core::SimDuration::from_millis(delay);
+                last_start = t;
+                net.start_flow(t, NodeId(s), NodeId(d), bytes, i as u64);
+            }
+            let ends = drain(&mut net);
+            prop_assert_eq!(ends.len(), specs.len());
+            let mut tags: Vec<u64> = ends.iter().map(|(_, e)| e.tag).collect();
+            tags.sort_unstable();
+            prop_assert_eq!(tags, (0..specs.len() as u64).collect::<Vec<_>>());
+            // Times are non-decreasing as produced by drain().
+            let times: Vec<u64> = ends.iter().map(|(t, _)| t.as_millis()).collect();
+            prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Link capacities and latencies for the network models.
+
+use hog_sim_core::units::{gbit_per_s, mbit_per_s};
+use hog_sim_core::SimDuration;
+
+/// Capacities (bytes/second) and latencies for the grid network.
+///
+/// The defaults mirror the paper's environment: worker nodes with 1 Gbps
+/// NICs (Table III), sites whose internal bandwidth dwarfs their WAN
+/// uplinks, and wide-area RTTs in the tens of milliseconds (§III-B.2 notes
+/// the WAN's "high latency and long transmission time" for
+/// JobTracker↔TaskTracker HTTP traffic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetParams {
+    /// Per-node NIC transmit capacity (bytes/s).
+    pub nic_up: f64,
+    /// Per-node NIC receive capacity (bytes/s).
+    pub nic_down: f64,
+    /// Per-site WAN egress capacity (bytes/s), shared by all nodes at the
+    /// site for inter-site flows.
+    pub site_up: f64,
+    /// Per-site WAN ingress capacity (bytes/s).
+    pub site_down: f64,
+    /// Loopback rate for src == dst transfers (bytes/s); effectively local
+    /// disk-to-disk copy speed.
+    pub loopback: f64,
+    /// One-way latency between nodes of the same site.
+    pub intra_site_latency: SimDuration,
+    /// One-way latency between nodes of different sites.
+    pub inter_site_latency: SimDuration,
+}
+
+impl NetParams {
+    /// Grid defaults: 1 Gbps NICs, 5 Gbps site uplinks, 50 ms WAN one-way
+    /// latency, 0.2 ms LAN latency.
+    pub fn grid_default() -> Self {
+        NetParams {
+            nic_up: gbit_per_s(1.0),
+            nic_down: gbit_per_s(1.0),
+            site_up: gbit_per_s(6.0),
+            site_down: gbit_per_s(6.0),
+            loopback: gbit_per_s(8.0),
+            intra_site_latency: SimDuration::from_millis(1),
+            inter_site_latency: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Dedicated-cluster defaults (Table III): everything is one site on a
+    /// 1 Gbps LAN; "site" links are a non-blocking switch (set high enough
+    /// to never bottleneck before the NICs).
+    pub fn lan_default() -> Self {
+        NetParams {
+            nic_up: gbit_per_s(1.0),
+            nic_down: gbit_per_s(1.0),
+            site_up: gbit_per_s(40.0),
+            site_down: gbit_per_s(40.0),
+            loopback: gbit_per_s(8.0),
+            intra_site_latency: SimDuration::from_millis(1),
+            inter_site_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A deliberately slow WAN for stress tests (100 Mbps uplinks).
+    pub fn congested_wan() -> Self {
+        NetParams {
+            site_up: mbit_per_s(100.0),
+            site_down: mbit_per_s(100.0),
+            inter_site_latency: SimDuration::from_millis(80),
+            ..Self::grid_default()
+        }
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        Self::grid_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let g = NetParams::grid_default();
+        assert!(g.site_up > g.nic_up, "site uplink should exceed one NIC");
+        assert!(g.inter_site_latency > g.intra_site_latency);
+        let l = NetParams::lan_default();
+        assert_eq!(l.inter_site_latency, l.intra_site_latency);
+    }
+
+    #[test]
+    fn congested_wan_is_slower() {
+        let c = NetParams::congested_wan();
+        let g = NetParams::grid_default();
+        assert!(c.site_up < g.site_up);
+        assert!(c.inter_site_latency > g.inter_site_latency);
+    }
+}

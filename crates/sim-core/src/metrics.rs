@@ -1,0 +1,445 @@
+//! Measurement utilities: step-function time series (with the
+//! area-beneath-curve integral used by Table IV of the paper), counters,
+//! histograms and summary statistics.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A right-continuous step function of time, e.g. "number of available HOG
+/// nodes" (Figure 5 of the paper). Samples must be recorded with
+/// non-decreasing timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct StepSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Record the value `v` taking effect at time `t`.
+    ///
+    /// Panics in debug builds if `t` precedes the previous sample. Equal
+    /// timestamps overwrite (last-writer-wins) so a burst of changes at one
+    /// instant collapses to its final value.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(last) = self.points.last_mut() {
+            debug_assert!(t >= last.0, "StepSeries samples must be time-ordered");
+            if last.0 == t {
+                last.1 = v;
+                return;
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// The value of the step function at time `t` (0.0 before the first
+    /// sample).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0.0,
+            n => self.points[n - 1].1,
+        }
+    }
+
+    /// The most recent recorded value (0.0 if empty).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw `(time, value)` samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Integrate the step function over `[from, to]` — the paper's "area
+    /// beneath the curve" (Table IV) in value·seconds.
+    pub fn area(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        let start_idx = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, pv) in &self.points[start_idx..] {
+            if pt >= to {
+                break;
+            }
+            area += value * (pt - cursor).as_secs_f64();
+            cursor = pt;
+            value = pv;
+        }
+        area += value * (to - cursor).as_secs_f64();
+        area
+    }
+
+    /// Time-weighted mean value over `[from, to]`.
+    pub fn mean_over(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.saturating_since(from).as_secs_f64();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.area(from, to) / span
+    }
+
+    /// Minimum and maximum recorded values within `[from, to]`, including
+    /// the value carried into the window. Returns `None` for an empty
+    /// series.
+    pub fn min_max_over(&self, from: SimTime, to: SimTime) -> Option<(f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut lo = self.value_at(from);
+        let mut hi = lo;
+        for &(pt, pv) in &self.points {
+            if pt > from && pt <= to {
+                lo = lo.min(pv);
+                hi = hi.max(pv);
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Downsample to at most `n` evenly spaced points over `[from, to]`
+    /// (used by the ASCII figure renderers).
+    pub fn resample(&self, from: SimTime, to: SimTime, n: usize) -> Vec<(SimTime, f64)> {
+        if n == 0 || to <= from {
+            return Vec::new();
+        }
+        let span = (to - from).as_millis();
+        (0..n)
+            .map(|i| {
+                let t = SimTime::from_millis(
+                    from.as_millis() + span * i as u64 / (n.max(2) as u64 - 1),
+                );
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Online summary statistics (Welford) over f64 observations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+    /// Population standard deviation (0.0 when n < 2).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A fixed-bucket histogram of durations (seconds), used for task-duration
+/// and queue-delay distributions in reports.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram with the given ascending bucket edges. A value `x` lands in
+    /// bucket `i` when `edges[i] <= x < edges[i+1]`; below the first edge it
+    /// counts into bucket 0; at/above the last edge it counts as overflow.
+    pub fn with_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let n = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x >= *self.edges.last().unwrap() {
+            self.overflow += 1;
+            return;
+        }
+        let idx = match self.edges.partition_point(|&e| e <= x) {
+            0 => 0,
+            n => n - 1,
+        };
+        let last = self.counts.len() - 1;
+        self.counts[idx.min(last)] += 1;
+    }
+
+    /// Record a duration observation.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+    /// Observations at/above the final edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+    /// The configured edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_series_value_and_area() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 10.0);
+        s.record(SimTime::from_secs(10), 20.0);
+        s.record(SimTime::from_secs(20), 0.0);
+        assert_eq!(s.value_at(SimTime::from_secs(5)), 10.0);
+        assert_eq!(s.value_at(SimTime::from_secs(10)), 20.0);
+        assert_eq!(s.value_at(SimTime::from_secs(25)), 0.0);
+        // 10*10 + 20*10 + 0*10 = 300
+        let a = s.area(SimTime::ZERO, SimTime::from_secs(30));
+        assert!((a - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_partial_window_area() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 4.0);
+        s.record(SimTime::from_secs(10), 8.0);
+        // window [5, 15]: 4*5 + 8*5 = 60
+        let a = s.area(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((a - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_before_first_sample_is_zero() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(10), 5.0);
+        assert_eq!(s.value_at(SimTime::from_secs(3)), 0.0);
+        let a = s.area(SimTime::ZERO, SimTime::from_secs(20));
+        assert!((a - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_same_timestamp_overwrites() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(1), 5.0);
+        s.record(SimTime::from_secs(1), 7.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last_value(), 7.0);
+    }
+
+    #[test]
+    fn step_series_mean_and_minmax() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::ZERO, 10.0);
+        s.record(SimTime::from_secs(10), 30.0);
+        let m = s.mean_over(SimTime::ZERO, SimTime::from_secs(20));
+        assert!((m - 20.0).abs() < 1e-9);
+        let (lo, hi) = s
+            .min_max_over(SimTime::ZERO, SimTime::from_secs(20))
+            .unwrap();
+        assert_eq!((lo, hi), (10.0, 30.0));
+    }
+
+    #[test]
+    fn step_series_resample_len() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::ZERO, 1.0);
+        let pts = s.resample(SimTime::ZERO, SimTime::from_secs(100), 11);
+        assert_eq!(pts.len(), 11);
+        assert!(pts.iter().all(|&(_, v)| v == 1.0));
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = StepSeries::new();
+        assert_eq!(s.value_at(SimTime::from_secs(5)), 0.0);
+        assert_eq!(s.area(SimTime::ZERO, SimTime::from_secs(5)), 0.0);
+        assert!(s.min_max_over(SimTime::ZERO, SimTime::from_secs(5)).is_none());
+    }
+
+    #[test]
+    fn counter_behaviour() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.min().is_none());
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::with_edges(vec![0.0, 1.0, 2.0, 4.0]);
+        for x in [0.5, 1.5, 1.9, 3.0, 4.0, 100.0, -1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]); // -1.0 clamps into bucket 0
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_bad_edges() {
+        let _ = Histogram::with_edges(vec![0.0, 0.0, 1.0]);
+    }
+}

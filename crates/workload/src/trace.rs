@@ -1,0 +1,141 @@
+//! Schedule import/export.
+//!
+//! The paper's schedule is synthesised from the Facebook distribution, but
+//! downstream users may want to replay their own traces. A schedule
+//! round-trips through a four-column CSV:
+//!
+//! ```csv
+//! submit_secs,bin,maps,reduces
+//! 0.000,1,1,1
+//! 13.271,3,10,5
+//! ```
+
+use crate::schedule::{JobSpec, SubmissionSchedule};
+use hog_sim_core::{SimDuration, SimTime};
+
+/// Render a schedule as CSV (header included).
+pub fn to_csv(schedule: &SubmissionSchedule) -> String {
+    let mut out = String::from("submit_secs,bin,maps,reduces\n");
+    for j in schedule.jobs() {
+        out.push_str(&format!(
+            "{:.3},{},{},{}\n",
+            j.submit_at.as_secs_f64(),
+            j.bin,
+            j.maps,
+            j.reduces
+        ));
+    }
+    out
+}
+
+/// Parse error for [`from_csv`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse a schedule from CSV. Rows must be time-ordered; the header row is
+/// optional. Job ids are assigned in row order.
+pub fn from_csv(text: &str) -> Result<SubmissionSchedule, TraceError> {
+    let mut jobs = Vec::new();
+    let mut last = SimTime::ZERO;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("submit_secs") || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| TraceError {
+            line: i + 1,
+            message,
+        };
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() != 4 {
+            return Err(err(format!("expected 4 columns, got {}", cols.len())));
+        }
+        let submit_secs: f64 = cols[0]
+            .parse()
+            .map_err(|e| err(format!("bad submit_secs: {e}")))?;
+        if !submit_secs.is_finite() || submit_secs < 0.0 {
+            return Err(err("submit_secs must be finite and non-negative".into()));
+        }
+        let bin: u8 = cols[1].parse().map_err(|e| err(format!("bad bin: {e}")))?;
+        let maps: u32 = cols[2].parse().map_err(|e| err(format!("bad maps: {e}")))?;
+        let reduces: u32 = cols[3]
+            .parse()
+            .map_err(|e| err(format!("bad reduces: {e}")))?;
+        if maps == 0 {
+            return Err(err("a job needs at least one map".into()));
+        }
+        let submit_at = SimTime::ZERO + SimDuration::from_secs_f64(submit_secs);
+        if submit_at < last {
+            return Err(err("rows must be time-ordered".into()));
+        }
+        last = submit_at;
+        jobs.push(JobSpec {
+            id: jobs.len() as u32,
+            submit_at,
+            bin,
+            maps,
+            reduces,
+        });
+    }
+    Ok(SubmissionSchedule::from_jobs(jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_schedule() {
+        let original = SubmissionSchedule::facebook_truncated(9);
+        let csv = to_csv(&original);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.jobs().iter().zip(parsed.jobs()) {
+            assert_eq!(a.bin, b.bin);
+            assert_eq!(a.maps, b.maps);
+            assert_eq!(a.reduces, b.reduces);
+            // CSV stores milliseconds precision (3 decimals).
+            assert_eq!(a.submit_at.as_millis(), b.submit_at.as_millis());
+        }
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let csv = "submit_secs,bin,maps,reduces\n# comment\n0.0,1,2,1\n\n5.5,3,10,5\n";
+        let s = from_csv(csv).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.jobs()[1].maps, 10);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(from_csv("1.0,1,2").is_err(), "missing column");
+        assert!(from_csv("x,1,2,1").is_err(), "bad float");
+        assert!(from_csv("-1.0,1,2,1").is_err(), "negative time");
+        assert!(from_csv("0.0,1,0,1").is_err(), "zero maps");
+        let unordered = "5.0,1,1,1\n1.0,1,1,1\n";
+        let e = from_csv(unordered).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("time-ordered"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = from_csv("oops").unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("line 1"));
+    }
+}

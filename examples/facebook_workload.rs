@@ -1,0 +1,65 @@
+//! Replay the paper's Facebook workload (Tables I & II: 88 jobs from the
+//! first six bins, exponential inter-arrival with mean 14 s) on HOG at a
+//! chosen pool size, and print a per-bin response-time breakdown.
+//!
+//! ```sh
+//! cargo run --release --example facebook_workload -- [nodes] [seed]
+//! ```
+
+use hog_repro::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let schedule = SubmissionSchedule::facebook_truncated(1000 + seed);
+    println!(
+        "Facebook workload: {} jobs / {} maps / {} reduces, submission span {:.0}s",
+        schedule.len(),
+        schedule.total_maps(),
+        schedule.total_reduces(),
+        schedule.last_submission().as_secs_f64()
+    );
+
+    let r = run_workload(
+        ClusterConfig::hog(nodes, seed),
+        &schedule,
+        SimDuration::from_secs(60 * 3600),
+    );
+    println!(
+        "\nHOG-{nodes}: workload response {:.0}s, {}/{} jobs succeeded",
+        r.response_time.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        r.jobs_succeeded(),
+        r.jobs.len()
+    );
+
+    // Per-bin breakdown: small jobs should see near-interactive response
+    // while the big bins dominate the makespan.
+    let mut per_bin: BTreeMap<u8, Vec<f64>> = BTreeMap::new();
+    for j in &r.jobs {
+        if let Some(d) = j.response() {
+            per_bin.entry(j.bin).or_default().push(d.as_secs_f64());
+        }
+    }
+    println!("\nbin  jobs  mean response  min     max");
+    for (bin, times) in per_bin {
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0_f64, f64::max);
+        println!(
+            "{bin:>3}  {:>4}  {mean:>10.0}s   {min:>6.0}s {max:>6.0}s",
+            times.len()
+        );
+    }
+
+    println!(
+        "\nmap locality: {:.1}% node-local ({} node / {} site / {} remote)",
+        100.0 * r.jt.node_local as f64
+            / (r.jt.node_local + r.jt.site_local + r.jt.remote).max(1) as f64,
+        r.jt.node_local,
+        r.jt.site_local,
+        r.jt.remote
+    );
+}

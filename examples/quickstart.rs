@@ -1,0 +1,61 @@
+//! Quickstart: run a small MapReduce workload on HOG and on the dedicated
+//! cluster, and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hog_repro::prelude::*;
+use hog_workload::facebook::Bin;
+
+fn main() {
+    // A small synthetic workload: 6 jobs of 10 maps / 3 reduces each,
+    // submitted with exponential inter-arrivals (mean 14 s).
+    let bin = Bin {
+        number: 3,
+        maps_at_facebook: (10, 10),
+        fraction_at_facebook: 1.0,
+        maps: 10,
+        jobs_in_benchmark: 6,
+        reduces: 3,
+    };
+    let schedule = SubmissionSchedule::from_bins(&[bin], 7);
+    let horizon = SimDuration::from_secs(12 * 3600);
+
+    println!("== HOG with a 30-glidein pool on five OSG sites ==");
+    let hog = run_workload(ClusterConfig::hog(30, 1), &schedule, horizon);
+    report(&hog);
+
+    println!("\n== Dedicated 30-node / 100-core cluster (Table III) ==");
+    let cluster = run_workload(ClusterConfig::dedicated(1), &schedule, horizon);
+    report(&cluster);
+}
+
+fn report(r: &RunResult) {
+    println!(
+        "workload response: {:.0}s  ({} of {} jobs succeeded)",
+        r.response_time.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        r.jobs_succeeded(),
+        r.jobs.len()
+    );
+    println!(
+        "map locality: {} node-local, {} site-local, {} remote",
+        r.jt.node_local, r.jt.site_local, r.jt.remote
+    );
+    for j in &r.jobs {
+        println!(
+            "  job {:>2} (bin {}): {:>4} maps, {:>2} reduces -> {}",
+            j.index,
+            j.bin,
+            j.maps,
+            j.reduces,
+            match j.response() {
+                Some(d) => format!("{:.0}s response", d.as_secs_f64()),
+                None => "did not finish".to_string(),
+            }
+        );
+    }
+    if let Some((preempted, outages, starts)) = r.grid {
+        println!("grid: {starts} node starts, {preempted} preemptions, {outages} site outages");
+    }
+}

@@ -1,0 +1,65 @@
+//! The abandoned-datanode ("zombie") story of paper §IV-D.1, end to end.
+//!
+//! In HOG's first iteration the Hadoop startup scripts double-forked, so
+//! site preemption killed the wrapper but left the daemons running with a
+//! deleted working directory: they kept heartbeating, accepted tasks, and
+//! failed every one of them. This example replays a preemption-heavy run
+//! in three modes — no zombies, zombies without the fix, zombies with the
+//! 3-minute working-directory self-check — and shows the damage and the
+//! repair.
+//!
+//! ```sh
+//! cargo run --release --example zombie_outbreak
+//! ```
+
+use hog_repro::prelude::*;
+use hog_workload::facebook::Bin;
+
+fn main() {
+    let bin = Bin {
+        number: 4,
+        maps_at_facebook: (30, 30),
+        fraction_at_facebook: 1.0,
+        maps: 30,
+        jobs_in_benchmark: 6,
+        reduces: 6,
+    };
+    let schedule = SubmissionSchedule::from_bins(&[bin], 23);
+    let churn = SimDuration::from_secs(30 * 60);
+    let horizon = SimDuration::from_secs(24 * 3600);
+
+    // The paper's remedy was two-part: (1) a periodic working-directory
+    // self-check so zombie daemons exit within 3 minutes, and (2) starting
+    // daemons inside the wrapper's process tree so preemption kills them
+    // outright — i.e. no zombies at all. The rows below are the three
+    // stages of that story.
+    println!("mode                     response   jobs ok  zombie task failures  attempt failures");
+    for (label, zombie_p, fix) in [
+        ("first iteration        ", 0.4, false),
+        ("disk-check mitigation  ", 0.4, true),
+        ("process-tree fix (HOG) ", 0.0, false),
+    ] {
+        let mut cfg = ClusterConfig::hog(30, 7).with_mean_lifetime(churn);
+        if zombie_p > 0.0 {
+            cfg = cfg.with_zombies(zombie_p, fix);
+        }
+        let r = run_workload(cfg.named(label.trim().to_string()), &schedule, horizon);
+        println!(
+            "{label} {:>7}   {:>3}/{}   {:>18}  {:>16}",
+            r.response_time
+                .map(|d| format!("{:.0}s", d.as_secs_f64()))
+                .unwrap_or_else(|| "DNF".into()),
+            r.jobs_succeeded(),
+            r.jobs.len(),
+            r.cluster.zombie_task_failures,
+            r.jt.failures,
+        );
+    }
+    println!(
+        "\nZombies accept-and-fail tasks until per-job blacklisting walls \
+         them off; the periodic\nworking-directory check (the paper's \
+         Datanode.java patch) makes them self-terminate\nwithin 3 minutes, \
+         and the process-tree fix prevents them existing at all — which is\n\
+         why production HOG behaves like the bottom row."
+    );
+}

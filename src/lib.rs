@@ -1,0 +1,49 @@
+//! # hog-repro — HOG: Distributed Hadoop MapReduce on the Grid
+//!
+//! A from-scratch Rust reproduction of *HOG: Distributed Hadoop MapReduce
+//! on the Grid* (He, Weitzel, Swanson, Lu — SC Companion 2012) as a
+//! deterministic discrete-event simulation. This facade crate re-exports
+//! the workspace's public API; see the individual crates for depth:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sim`] (`hog-sim-core`) | DES kernel: clock, event queue, RNG, metrics |
+//! | [`net`] (`hog-net`) | topology + max-min fair fluid network |
+//! | [`grid`] (`hog-grid`) | OSG substrate: glideins, preemption, outages |
+//! | [`hdfs`] (`hog-hdfs`) | namenode, datanodes, site-aware placement |
+//! | [`mapreduce`] (`hog-mapreduce`) | JobTracker/TaskTrackers, shuffle |
+//! | [`workload`] (`hog-workload`) | Facebook schedule (Tables I & II) |
+//! | [`core`] (`hog-core`) | the HOG system, baselines, experiments |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use hog_repro::prelude::*;
+//!
+//! // The paper's headline experiment at one point: HOG with a 100-node
+//! // pool versus the dedicated 100-core cluster.
+//! let schedule = SubmissionSchedule::facebook_truncated(42);
+//! let horizon = SimDuration::from_secs(60 * 3600);
+//! let hog = run_workload(ClusterConfig::hog(100, 1), &schedule, horizon);
+//! let cluster = run_workload(ClusterConfig::dedicated(1), &schedule, horizon);
+//! println!(
+//!     "HOG-100: {:?}  vs cluster: {:?}",
+//!     hog.response_time, cluster.response_time
+//! );
+//! ```
+
+pub use hog_core as core;
+pub use hog_grid as grid;
+pub use hog_hdfs as hdfs;
+pub use hog_mapreduce as mapreduce;
+pub use hog_net as net;
+pub use hog_sim_core as sim;
+pub use hog_workload as workload;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use hog_core::driver::{run_workload, JobOutcome, RunResult};
+    pub use hog_core::{ClusterConfig, PlacementKind, ResourceConfig};
+    pub use hog_sim_core::{SimDuration, SimTime};
+    pub use hog_workload::SubmissionSchedule;
+}
