@@ -1,11 +1,12 @@
-//! Ablation experiments X1–X7 (see DESIGN.md §4).
+//! Ablation experiments X1–X7 and the X10 chaos degradation curve (see
+//! DESIGN.md §4).
 //!
-//! Usage: `ablations [heartbeat|replication|zombie|disk|baselines|multicopy|siteaware|all]
+//! Usage: `ablations [heartbeat|replication|zombie|disk|baselines|multicopy|siteaware|chaos|all]
 //!                   [--nodes N] [--threads N]`
 
 use hog_core::baselines::compare_hog_moon_hod;
 use hog_core::experiments::{
-    ablation_disk, ablation_heartbeat, ablation_multicopy, ablation_replication,
+    ablation_chaos, ablation_disk, ablation_heartbeat, ablation_multicopy, ablation_replication,
     ablation_siteaware, ablation_zombie, ComparisonArm,
 };
 use hog_core::report::TextTable;
@@ -155,6 +156,47 @@ fn main() {
         ));
     };
 
+    let run_chaos = |out: &mut String| {
+        eprintln!("X10 chaos degradation curve…");
+        let arms = ablation_chaos(nodes, &[0, 1, 2, 3, 4], threads);
+        let mut t = TextTable::new(&[
+            "intensity",
+            "response (s)",
+            "jobs ok",
+            "task failures",
+            "blocks lost",
+            "preemptions",
+            "chaos verdict",
+        ]);
+        for (k, arm) in &arms {
+            let r = &arm.result;
+            let verdict = match &r.chaos_failure {
+                None => "clean".to_string(),
+                Some(f) => match f {
+                    hog_core::chaos::ChaosFailure::InvariantViolation { violations, .. } => {
+                        format!("INVARIANT ({} violations)", violations.len())
+                    }
+                    hog_core::chaos::ChaosFailure::Livelock { stalled_for, .. } => {
+                        format!("LIVELOCK ({}s stall)", stalled_for.as_millis() / 1000)
+                    }
+                },
+            };
+            t.row(&[
+                k.to_string(),
+                format!("{:.0}", arm.response()),
+                format!("{}/{}", r.jobs_succeeded(), r.jobs.len()),
+                r.jt.failures.to_string(),
+                r.nn_counters.2.to_string(),
+                r.grid.map_or(0, |g| g.0).to_string(),
+                verdict,
+            ]);
+        }
+        out.push_str(&format!(
+            "\nX10 — graceful degradation under escalating chaos (audited), {nodes} nodes\n{}",
+            t.render()
+        ));
+    };
+
     match which.as_str() {
         "heartbeat" => run_heartbeat(&mut out),
         "replication" => run_replication(&mut out),
@@ -163,6 +205,7 @@ fn main() {
         "baselines" => run_baselines(&mut out),
         "multicopy" => run_multicopy(&mut out),
         "siteaware" => run_siteaware(&mut out),
+        "chaos" => run_chaos(&mut out),
         _ => {
             run_heartbeat(&mut out);
             run_replication(&mut out);
@@ -171,6 +214,7 @@ fn main() {
             run_baselines(&mut out);
             run_multicopy(&mut out);
             run_siteaware(&mut out);
+            run_chaos(&mut out);
         }
     }
 

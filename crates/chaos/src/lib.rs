@@ -1,0 +1,166 @@
+//! Cross-layer fault injection, invariant auditing and livelock detection
+//! for the HOG reproduction.
+//!
+//! The paper's central claim is *robustness*: HOG keeps making progress on
+//! an opportunistic grid whose nodes are preempted, partitioned and
+//! corrupted at rates no dedicated cluster would tolerate. This crate
+//! turns that claim into something falsifiable:
+//!
+//! * [`FaultPlan`] — a deterministic, seeded timeline of cross-layer
+//!   faults ([`Fault`]) injected into a cluster run: correlated
+//!   preemption bursts, site-scope network partitions (the site is alive
+//!   but unreachable — distinct from a grid outage, which kills the
+//!   glideins), WAN bandwidth degradation windows, zombie outbreaks,
+//!   straggler nodes and transient master stalls.
+//! * [`Auditor`] — aggregates [`Violation`]s from the substrate models'
+//!   [`Auditable`](hog_sim_core::Auditable) implementations on every
+//!   master tick; any breach aborts the run with a structured dump
+//!   ([`ChaosFailure::InvariantViolation`]).
+//! * [`Watchdog`] — detects livelock: the event loop is spinning but no
+//!   job, upload, replication or provisioning progress has been made for
+//!   a configurable window ([`ChaosFailure::Livelock`]).
+//!
+//! The crate is deliberately mechanism-only: *what* each fault means is
+//! implemented where the state lives (grid, net, hdfs, mapreduce, and the
+//! `hog-core` mediator); this crate owns the schedule, the aggregation
+//! and the failure reports, so the same machinery audits runs with no
+//! faults at all.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod watchdog;
+
+pub use plan::{Fault, FaultPlan, TimedFault};
+pub use watchdog::{ProgressSig, Watchdog};
+
+use hog_sim_core::audit::render_violations;
+use hog_sim_core::{SimDuration, SimTime, Violation};
+
+/// Why a chaos-supervised run was aborted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosFailure {
+    /// A runtime invariant audit found cross-layer inconsistencies.
+    InvariantViolation {
+        /// When the audit tripped.
+        at: SimTime,
+        /// Every breached invariant.
+        violations: Vec<Violation>,
+        /// Structured human-readable report.
+        dump: String,
+    },
+    /// Events kept firing but nothing made progress for a full window.
+    Livelock {
+        /// When the watchdog tripped.
+        at: SimTime,
+        /// How long the run had been stuck.
+        stalled_for: SimDuration,
+        /// Structured human-readable report.
+        dump: String,
+    },
+}
+
+impl ChaosFailure {
+    /// Simulation time at which the run was aborted.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ChaosFailure::InvariantViolation { at, .. } => *at,
+            ChaosFailure::Livelock { at, .. } => *at,
+        }
+    }
+
+    /// The structured report body.
+    pub fn dump(&self) -> &str {
+        match self {
+            ChaosFailure::InvariantViolation { dump, .. } => dump,
+            ChaosFailure::Livelock { dump, .. } => dump,
+        }
+    }
+}
+
+/// Runtime invariant auditor: feed it the violations collected from every
+/// [`Auditable`](hog_sim_core::Auditable) layer each master tick; the
+/// first non-empty batch produces the aborting [`ChaosFailure`].
+#[derive(Clone, Debug, Default)]
+pub struct Auditor {
+    checks: u64,
+}
+
+impl Auditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// How many audit sweeps have run (diagnostics).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Record one audit sweep. Returns the structured failure if any
+    /// invariant was breached.
+    pub fn observe(&mut self, at: SimTime, violations: Vec<Violation>) -> Option<ChaosFailure> {
+        self.checks += 1;
+        if violations.is_empty() {
+            return None;
+        }
+        let dump = render_violations(at, &violations);
+        Some(ChaosFailure::InvariantViolation {
+            at,
+            violations,
+            dump,
+        })
+    }
+}
+
+/// Run `audit()` over a set of layers and pool the violations.
+pub fn collect_violations(layers: &[&dyn hog_sim_core::Auditable]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for l in layers {
+        out.extend(l.audit());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auditor_passes_clean_sweeps_and_trips_on_violations() {
+        let mut a = Auditor::new();
+        assert!(a.observe(SimTime::from_millis(1000), Vec::new()).is_none());
+        let v = vec![Violation::new("hdfs", "used mismatch")];
+        let fail = a.observe(SimTime::from_millis(2000), v).unwrap();
+        match &fail {
+            ChaosFailure::InvariantViolation { violations, .. } => {
+                assert_eq!(violations.len(), 1)
+            }
+            other => panic!("unexpected failure kind {other:?}"),
+        }
+        assert!(fail.dump().contains("[hdfs] used mismatch"));
+        assert_eq!(fail.at(), SimTime::from_millis(2000));
+        assert_eq!(a.checks(), 2);
+    }
+
+    struct Clean;
+    struct Dirty;
+    impl hog_sim_core::Auditable for Clean {
+        fn audit(&self) -> Vec<Violation> {
+            Vec::new()
+        }
+    }
+    impl hog_sim_core::Auditable for Dirty {
+        fn audit(&self) -> Vec<Violation> {
+            vec![Violation::new("net", "oversubscribed")]
+        }
+    }
+
+    #[test]
+    fn collect_pools_across_layers() {
+        let vs = collect_violations(&[&Clean, &Dirty, &Clean]);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].layer, "net");
+    }
+}

@@ -17,7 +17,9 @@
 
 use crate::config::{ClusterConfig, PlacementKind, ResourceConfig};
 use crate::event::{DoomReason, Event};
+use hog_chaos::{Auditor, ChaosFailure, Fault, ProgressSig, Watchdog};
 use hog_grid::{GridModel, GridNote, LossReason};
+use hog_hdfs::datanode::DnLiveness;
 use hog_hdfs::{
     BlockId, FileId, Namenode, RackAwarePolicy, RackObliviousPolicy, ReplOrder, SiteAwarePolicy,
 };
@@ -27,7 +29,7 @@ use hog_net::{FlowEnd, FlowId, FlowOutcome, FluidNet, Network, NodeId, Topology}
 use hog_sim_core::engine::{Model, Scheduler};
 use hog_sim_core::metrics::StepSeries;
 use hog_sim_core::units::transfer_secs;
-use hog_sim_core::{SimDuration, SimRng, SimTime};
+use hog_sim_core::{SimDuration, SimRng, SimTime, Violation};
 use hog_workload::{JobSpec, SubmissionSchedule};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -164,6 +166,28 @@ pub struct Cluster {
     adaptive: Option<crate::adaptive::AdaptiveReplication>,
     /// History of adaptive factor changes: (time, factor).
     pub adaptive_changes: Vec<(SimTime, u16)>,
+    /// `(map, reduce)` slots each worker registered with (chaos heal
+    /// re-registration needs the original values).
+    slots_of: HashMap<NodeId, (u8, u8)>,
+    /// Nodes currently behind an injected network partition: daemons
+    /// alive, traffic and heartbeats cut (hog-chaos).
+    partitioned: BTreeSet<NodeId>,
+    /// Which nodes each active partition fault cut off (for healing).
+    partition_members: HashMap<u32, Vec<NodeId>>,
+    /// Straggler slowdowns: node → (cpu multiplier, disk multiplier).
+    straggle: HashMap<NodeId, (f64, f64)>,
+    /// Masters suspended until this instant (chaos `MasterStall`).
+    master_stalled_until: Option<SimTime>,
+    /// Decorrelated RNG stream for chaos victim selection.
+    chaos_rng: SimRng,
+    /// Invariant auditor, when `cfg.chaos.audit` is set.
+    auditor: Option<Auditor>,
+    /// Livelock watchdog, when `cfg.chaos.watchdog` is set.
+    watchdog: Option<Watchdog>,
+    /// Network transfers that ran to completion (progress signal).
+    flows_done: u64,
+    /// Set when the chaos layer aborted the run.
+    chaos_failure: Option<ChaosFailure>,
 }
 
 impl Cluster {
@@ -192,6 +216,9 @@ impl Cluster {
         let target_nodes = cfg.resource.target_nodes();
         let n_jobs = schedule.len();
         let cfg2 = cfg.adaptive_replication;
+        let chaos_seed = cfg.seed ^ 0x686f_675f_6368_616f; // b"hog_chao"
+        let chaos_audit = cfg.chaos.audit;
+        let chaos_watchdog = cfg.chaos.watchdog;
         Cluster {
             cfg,
             topo,
@@ -226,6 +253,18 @@ impl Cluster {
             adaptive: cfg2
                 .map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
             adaptive_changes: Vec::new(),
+            slots_of: HashMap::new(),
+            partitioned: BTreeSet::new(),
+            partition_members: HashMap::new(),
+            straggle: HashMap::new(),
+            master_stalled_until: None,
+            // Seeded independently of the master stream so enabling chaos
+            // never perturbs the organic randomness of a run.
+            chaos_rng: SimRng::seed_from_u64(chaos_seed),
+            auditor: chaos_audit.then(Auditor::new),
+            watchdog: chaos_watchdog.map(Watchdog::new),
+            flows_done: 0,
+            chaos_failure: None,
         }
     }
 
@@ -323,6 +362,7 @@ impl Cluster {
 
     fn register_worker_common(&mut self, now: SimTime, node: NodeId, m: u8, r: u8) {
         self.daemons_up.insert(node);
+        self.slots_of.insert(node, (m, r));
         self.net.register_node(node, self.topo.site_of(node));
         self.nn.register_datanode(now, node);
         self.jt.register_tracker(now, node, m, r);
@@ -441,6 +481,16 @@ impl Cluster {
             let at = base + (spec.submit_at - SimTime::ZERO);
             sched.at(at, Event::SubmitJob { index: i });
         }
+        // Fault injection is anchored to workload start, like job
+        // submission: a plan is meaningful relative to the workload, not
+        // to however long pool formation and upload happened to take.
+        for (i, tf) in self.cfg.chaos.plan.faults().iter().enumerate() {
+            let index = i as u32;
+            sched.at(base + tf.at, Event::Chaos { index });
+            if let Some(w) = tf.fault.window() {
+                sched.at(base + tf.at + w, Event::ChaosEnd { index });
+            }
+        }
     }
 
     // ==================================================================
@@ -509,7 +559,22 @@ impl Cluster {
 
     /// Whether a node is alive with working storage (writable target).
     fn node_usable(&self, node: NodeId) -> bool {
-        self.daemons_up.contains(&node) && !self.zombies.contains(&node)
+        self.daemons_up.contains(&node)
+            && !self.zombies.contains(&node)
+            && !self.partitioned.contains(&node)
+    }
+
+    /// Whether a node is alive and on the network: daemons running and
+    /// not cut off by an injected partition. Storage state is irrelevant
+    /// (a zombie still serves cached map output and heartbeats).
+    fn node_reachable(&self, node: NodeId) -> bool {
+        self.daemons_up.contains(&node) && !self.partitioned.contains(&node)
+    }
+
+    /// Chaos straggler multipliers for `node`: `(cpu, disk)`, 1.0 = no
+    /// slowdown.
+    fn slow(&self, node: NodeId) -> (f64, f64) {
+        self.straggle.get(&node).copied().unwrap_or((1.0, 1.0))
     }
 
     /// Fan the block from its first holder to the remaining replicas.
@@ -604,7 +669,7 @@ impl Cluster {
         };
         // A reduce whose own node died cannot retry its output write; the
         // JobTracker's tracker timeout reschedules the whole attempt.
-        let writer_gone = writer.is_some_and(|w| !self.daemons_up.contains(&w));
+        let writer_gone = writer.is_some_and(|w| !self.node_reachable(w));
         if retries < 3 && !writer_gone {
             if let Some((block, targets)) =
                 self.nn
@@ -683,6 +748,9 @@ impl Cluster {
             return;
         };
         let ok = end.outcome == FlowOutcome::Completed;
+        if ok {
+            self.flows_done += 1;
+        }
         match ctx {
             FlowCtx::MapInput { attempt } => {
                 if !self.jt.attempt_active(attempt) {
@@ -691,12 +759,13 @@ impl Cluster {
                 let Some(meta) = self.map_meta.get(&attempt).copied() else {
                     return;
                 };
-                if !self.daemons_up.contains(&meta.node) {
+                if !self.node_reachable(meta.node) {
                     return; // node died; JT timeout will requeue
                 }
                 if ok {
+                    let (cpu, _) = self.slow(meta.node);
                     sched.after(
-                        SimDuration::from_secs_f64(meta.cpu_secs),
+                        SimDuration::from_secs_f64(meta.cpu_secs * cpu),
                         Event::MapComputeDone { attempt },
                     );
                 } else {
@@ -807,6 +876,9 @@ impl Cluster {
     fn shutdown_daemons(&mut self, node: NodeId, sched: &mut Scheduler<'_, Event>) {
         self.daemons_up.remove(&node);
         self.zombies.remove(&node);
+        self.partitioned.remove(&node);
+        self.straggle.remove(&node);
+        self.slots_of.remove(&node);
         // Mark the masters' views FIRST: killed-flow handlers below may
         // retry writes, and the namenode must not hand the dead node out
         // as a fresh pipeline target.
@@ -888,7 +960,7 @@ impl Cluster {
         let Some(meta) = self.map_meta.get(&attempt).copied() else {
             return;
         };
-        if !self.daemons_up.contains(&meta.node) {
+        if !self.node_reachable(meta.node) {
             return; // node died; the JobTracker timeout requeues the task
         }
         let rtt = self.net.latency(self.master, meta.node) * 2;
@@ -911,7 +983,9 @@ impl Cluster {
                     continue;
                 }
                 Some(src) if src == meta.node => {
-                    let secs = transfer_secs(meta.input_bytes, self.cfg.mr.disk_read_rate);
+                    let (_, disk) = self.slow(meta.node);
+                    let secs =
+                        transfer_secs(meta.input_bytes, self.cfg.mr.disk_read_rate) * disk;
                     sched.after(
                         rtt + SimDuration::from_secs_f64(secs),
                         Event::MapInputReady { attempt },
@@ -938,7 +1012,7 @@ impl Cluster {
         let Some(meta) = self.map_meta.get(&attempt).copied() else {
             return;
         };
-        if !self.daemons_up.contains(&meta.node) {
+        if !self.node_reachable(meta.node) {
             return;
         }
         if !self.jt.reserve_map_scratch(attempt, meta.node) {
@@ -950,7 +1024,8 @@ impl Cluster {
             self.handle_notes(sched, notes);
             return;
         }
-        let secs = transfer_secs(meta.output_bytes, self.cfg.mr.disk_write_rate);
+        let (_, disk) = self.slow(meta.node);
+        let secs = transfer_secs(meta.output_bytes, self.cfg.mr.disk_write_rate) * disk;
         sched.after(
             SimDuration::from_secs_f64(secs),
             Event::MapSpillDone { attempt },
@@ -962,7 +1037,7 @@ impl Cluster {
             return;
         }
         let node = self.attempt_node(attempt);
-        if !self.daemons_up.contains(&node) {
+        if !self.node_reachable(node) {
             return;
         }
         let out = self.jt.map_done(sched.now(), attempt, &self.topo);
@@ -982,14 +1057,13 @@ impl Cluster {
             return;
         }
         let node = self.attempt_node(attempt);
-        if !self.daemons_up.contains(&node) {
+        if !self.node_reachable(node) {
             return;
         }
         match self.jt.reduce_next(attempt) {
             ReduceStep::Fetch(orders) => {
                 for (id, order) in orders {
-                    let usable = self.daemons_up.contains(&order.src_rep)
-                        && !self.zombies.contains(&order.src_rep);
+                    let usable = self.node_usable(order.src_rep);
                     if usable {
                         let fid = self.net.start_flow_diffuse(
                             sched.now(),
@@ -1017,8 +1091,9 @@ impl Cluster {
                 replication,
             } => {
                 self.reduce_out.insert(attempt, (output_bytes, replication));
+                let (cpu, _) = self.slow(node);
                 sched.after(
-                    SimDuration::from_secs_f64(cpu_secs),
+                    SimDuration::from_secs_f64(cpu_secs * cpu),
                     Event::ReduceSortDone { attempt },
                 );
             }
@@ -1031,7 +1106,7 @@ impl Cluster {
             return;
         }
         let node = self.attempt_node(attempt);
-        if !self.daemons_up.contains(&node) {
+        if !self.node_reachable(node) {
             return;
         }
         let Some(&(bytes, repl)) = self.reduce_out.get(&attempt) else {
@@ -1178,7 +1253,7 @@ impl Cluster {
     fn on_balancer_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
         let plan = hog_hdfs::balancer::plan(&self.nn, &self.topo, 0.10, 32);
         for mv in plan.moves {
-            if !self.daemons_up.contains(&mv.src) || !self.node_usable(mv.dst) {
+            if !self.node_reachable(mv.src) || !self.node_usable(mv.dst) {
                 continue;
             }
             let fid = self.net.start_flow(sched.now(), mv.src, mv.dst, mv.bytes, 0);
@@ -1195,48 +1270,295 @@ impl Cluster {
     }
 
     fn on_master_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
-        // Namenode: death detection + replication orders.
-        let tick = self.nn.tick(sched.now(), &self.topo);
-        for ReplOrder {
-            block,
-            src,
-            dst,
-            bytes,
-        } in tick.orders
-        {
-            if self.nn.storage_failed(src) || !self.daemons_up.contains(&src) {
-                // Zombie or just-died source: the transfer fails fast.
-                self.nn.repl_done(block, src, dst, false);
-                continue;
+        let stalled = self
+            .master_stalled_until
+            .is_some_and(|until| sched.now() < until);
+        if !stalled {
+            // Namenode: death detection + replication orders.
+            let tick = self.nn.tick(sched.now(), &self.topo);
+            for ReplOrder {
+                block,
+                src,
+                dst,
+                bytes,
+            } in tick.orders
+            {
+                if self.nn.storage_failed(src) || !self.node_reachable(src) {
+                    // Zombie or just-died source: the transfer fails fast.
+                    self.nn.repl_done(block, src, dst, false);
+                    continue;
+                }
+                if !self.node_reachable(dst) {
+                    self.nn.repl_done(block, src, dst, false);
+                    continue;
+                }
+                let fid = self.net.start_flow(sched.now(), src, dst, bytes, 0);
+                self.flows.insert(fid, FlowCtx::Repl { block, src, dst });
             }
-            if !self.daemons_up.contains(&dst) {
-                self.nn.repl_done(block, src, dst, false);
-                continue;
-            }
-            let fid = self.net.start_flow(sched.now(), src, dst, bytes, 0);
-            self.flows.insert(fid, FlowCtx::Repl { block, src, dst });
+            // JobTracker: dead trackers.
+            let (_dead, notes) = self.jt.check_dead(sched.now());
+            self.handle_notes(sched, notes);
         }
-        // JobTracker: dead trackers.
-        let (_dead, notes) = self.jt.check_dead(sched.now());
-        self.handle_notes(sched, notes);
         // Series sampling (the Fig. 5 curves).
         self.reported_series
             .record(sched.now(), self.jt.reported_live() as f64);
         let usable = self.daemons_up.len() - self.zombies.len();
         self.actual_series.record(sched.now(), usable as f64);
         // Adaptive replication (X9): scale durability with instability.
-        if let Some(ad) = &mut self.adaptive {
-            if let Some(factor) = ad.update(sched.now(), self.daemons_up.len().max(1)) {
-                self.nn.set_default_replication(factor);
-                let files = self.input_files.clone();
-                for f in files {
-                    self.nn.set_file_replication(f, factor);
+        if !stalled {
+            if let Some(ad) = &mut self.adaptive {
+                if let Some(factor) = ad.update(sched.now(), self.daemons_up.len().max(1)) {
+                    self.nn.set_default_replication(factor);
+                    let files = self.input_files.clone();
+                    for f in files {
+                        self.nn.set_file_replication(f, factor);
+                    }
+                    self.adaptive_changes.push((sched.now(), factor));
                 }
-                self.adaptive_changes.push((sched.now(), factor));
             }
         }
+        self.run_chaos_supervision(sched.now());
         self.arm_net(sched);
         sched.after(self.cfg.hdfs.replication_monitor_interval, Event::MasterTick);
+    }
+
+    // ==================================================================
+    // Chaos: fault injection, invariant auditing, livelock detection
+    // ==================================================================
+
+    fn site_by_name(&self, name: &str) -> Option<hog_net::SiteId> {
+        self.topo
+            .sites()
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.id)
+    }
+
+    /// Apply the `index`-th fault of the configured plan.
+    fn on_chaos(&mut self, sched: &mut Scheduler<'_, Event>, index: u32) {
+        let Some(tf) = self.cfg.chaos.plan.faults().get(index as usize).cloned() else {
+            return;
+        };
+        match tf.fault {
+            Fault::PreemptBurst { site, count } => {
+                let Some(site) = self.site_by_name(&site) else {
+                    return;
+                };
+                let Some(mut grid) = self.grid.take() else {
+                    return;
+                };
+                let out = grid.inject_preemptions(sched.now(), site, count, &mut self.topo);
+                self.grid = Some(grid);
+                for (d, e) in out.defer {
+                    sched.after(d, Event::Grid(e));
+                }
+                for note in out.notes {
+                    match note {
+                        GridNote::NodeStarted { node } => self.on_node_started(node, sched),
+                        GridNote::NodeLost { node, reason } => {
+                            self.on_node_lost(node, reason, sched)
+                        }
+                    }
+                }
+            }
+            Fault::SitePartition { site, .. } => {
+                let Some(site) = self.site_by_name(&site) else {
+                    return;
+                };
+                let members: Vec<NodeId> = self
+                    .daemons_up
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.topo.site_of(n) == site && !self.partitioned.contains(&n))
+                    .collect();
+                for &n in &members {
+                    self.partitioned.insert(n);
+                    // Daemons stay up, but nothing gets through: both
+                    // masters see silence, and every flow touching the
+                    // node dies.
+                    self.nn.mark_silent(sched.now(), n);
+                    self.jt.tracker_silent(sched.now(), n);
+                    let killed = self.net.remove_node(sched.now(), n);
+                    for end in killed {
+                        self.on_flow_end(sched, end);
+                    }
+                }
+                self.partition_members.insert(index, members);
+                self.arm_net(sched);
+            }
+            Fault::WanDegrade { factor, .. } => {
+                self.net.set_wan_factor(sched.now(), factor);
+                self.arm_net(sched);
+            }
+            Fault::ZombieOutbreak { count } => {
+                let mut candidates: Vec<NodeId> = self
+                    .daemons_up
+                    .iter()
+                    .copied()
+                    .filter(|&n| !self.zombies.contains(&n) && !self.partitioned.contains(&n))
+                    .collect();
+                self.chaos_rng.shuffle(&mut candidates);
+                for n in candidates.into_iter().take(count) {
+                    self.zombies.insert(n);
+                    self.nn.mark_storage_failed(n);
+                }
+            }
+            Fault::Straggler {
+                count,
+                cpu_factor,
+                disk_factor,
+            } => {
+                let mut candidates: Vec<NodeId> = self
+                    .daemons_up
+                    .iter()
+                    .copied()
+                    .filter(|n| !self.straggle.contains_key(n))
+                    .collect();
+                self.chaos_rng.shuffle(&mut candidates);
+                for n in candidates.into_iter().take(count) {
+                    self.straggle.insert(n, (cpu_factor, disk_factor));
+                }
+            }
+            Fault::MasterStall { duration } => {
+                self.master_stalled_until = Some(sched.now() + duration);
+            }
+            Fault::CorruptAccounting { delta_bytes } => {
+                // Deliberately breaks the namenode's books so the auditor
+                // has something real to catch (negative-testing fault).
+                if let Some(&n) = self.daemons_up.iter().next() {
+                    self.nn.debug_skew_used(n, delta_bytes);
+                }
+            }
+        }
+    }
+
+    /// End of a windowed fault (`SitePartition` heals, `WanDegrade`
+    /// lifts).
+    fn on_chaos_end(&mut self, sched: &mut Scheduler<'_, Event>, index: u32) {
+        let Some(tf) = self.cfg.chaos.plan.faults().get(index as usize).cloned() else {
+            return;
+        };
+        match tf.fault {
+            Fault::SitePartition { .. } => {
+                let members = self.partition_members.remove(&index).unwrap_or_default();
+                for n in members {
+                    self.partitioned.remove(&n);
+                    if !self.daemons_up.contains(&n) {
+                        continue; // lost for real while cut off
+                    }
+                    self.net.register_node(n, self.topo.site_of(n));
+                    let dn_dead = self
+                        .nn
+                        .datanode(n)
+                        .is_none_or(|d| d.liveness == DnLiveness::Dead);
+                    if dn_dead {
+                        // The namenode wrote the node off (and dropped its
+                        // block accounting); it reports back in empty, as
+                        // a restarted datanode would.
+                        self.nn.register_datanode(sched.now(), n);
+                        if self.zombies.contains(&n) {
+                            self.nn.mark_storage_failed(n);
+                        }
+                    } else {
+                        self.nn.mark_live(sched.now(), n);
+                    }
+                    if !self.jt.tracker_live(n) {
+                        let (m, r) = self.slots_of.get(&n).copied().unwrap_or((1, 1));
+                        self.jt.register_tracker(sched.now(), n, m, r);
+                    }
+                }
+                self.arm_net(sched);
+            }
+            Fault::WanDegrade { .. } => {
+                self.net.set_wan_factor(sched.now(), 1.0);
+                self.arm_net(sched);
+            }
+            _ => {}
+        }
+    }
+
+    /// Per-master-tick chaos oversight: run the invariant audit and feed
+    /// the livelock watchdog. The first failure freezes the run.
+    fn run_chaos_supervision(&mut self, now: SimTime) {
+        if self.chaos_failure.is_some() {
+            return;
+        }
+        if self.auditor.is_some() {
+            let mut violations =
+                hog_chaos::collect_violations(&[&self.net, &self.nn, &self.jt]);
+            violations.extend(self.cross_layer_violations());
+            if let Some(aud) = &mut self.auditor {
+                if let Some(f) = aud.observe(now, violations) {
+                    self.chaos_failure = Some(f);
+                    return;
+                }
+            }
+        }
+        if self.watchdog.is_some() && self.phase != RunPhase::Done {
+            let sig = self.progress_sig();
+            if let Some(wd) = &mut self.watchdog {
+                if let Some(f) = wd.observe(now, sig) {
+                    self.chaos_failure = Some(f);
+                }
+            }
+        }
+    }
+
+    /// Invariants no single layer can check: the masters' liveness views
+    /// must agree with the mediator's ground truth.
+    fn cross_layer_violations(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for (n, dn) in self.nn.datanodes() {
+            if dn.liveness == DnLiveness::Live && !self.node_reachable(n) {
+                v.push(Violation::new(
+                    "cluster",
+                    format!("namenode believes {n:?} is Live but it is unreachable"),
+                ));
+            }
+        }
+        for &n in self.daemons_up.iter() {
+            if self.jt.tracker_live(n) && self.partitioned.contains(&n) {
+                v.push(Violation::new(
+                    "cluster",
+                    format!("jobtracker believes {n:?} is Live across a partition"),
+                ));
+            }
+        }
+        v
+    }
+
+    /// Snapshot every counter that moves when the cluster does real work.
+    fn progress_sig(&self) -> ProgressSig {
+        let mut maps_done = 0u64;
+        let mut reduces_done = 0u64;
+        for i in 0..self.jt.job_count() {
+            let job = self.jt.job(JobId(i as u32));
+            maps_done += job.maps_done as u64;
+            reduces_done += job.reduces_done as u64;
+        }
+        let jtc = self.jt.counters();
+        ProgressSig {
+            phase: self.phase as u8,
+            pool_size: self
+                .daemons_up
+                .iter()
+                .filter(|&&n| self.node_usable(n))
+                .count(),
+            node_starts: self.grid.as_ref().map_or(0, |g| g.node_start_count()),
+            upload_remaining: self.upload_queue.len() + self.upload_in_flight,
+            jobs_finished: self.finished_jobs,
+            maps_done,
+            reduces_done,
+            task_failures: jtc.failures,
+            repl_completed: self.nn.counters().0,
+            flows_finished: self.flows_done,
+        }
+    }
+
+    /// The structured failure that aborted this run, if the chaos layer
+    /// tripped.
+    pub fn chaos_failure(&self) -> Option<&ChaosFailure> {
+        self.chaos_failure.as_ref()
     }
 }
 
@@ -1275,8 +1597,17 @@ impl Model for Cluster {
                 if !self.daemons_up.contains(&node) {
                     return; // daemon gone: heartbeats stop
                 }
-                let assignments = self.jt.heartbeat(sched.now(), node, &self.topo);
-                self.start_assignments(sched, node, assignments);
+                // A partitioned worker keeps its daemons (and this timer)
+                // alive, but its heartbeats never reach the JobTracker; a
+                // stalled master receives nothing. Either way the masters'
+                // timeout machinery sees silence.
+                let stalled = self
+                    .master_stalled_until
+                    .is_some_and(|until| sched.now() < until);
+                if !self.partitioned.contains(&node) && !stalled {
+                    let assignments = self.jt.heartbeat(sched.now(), node, &self.topo);
+                    self.start_assignments(sched, node, assignments);
+                }
                 sched.after(self.cfg.mr.heartbeat_interval, Event::Heartbeat { node });
             }
             Event::DiskCheck { node } => {
@@ -1298,11 +1629,12 @@ impl Model for Cluster {
                 let Some(meta) = self.map_meta.get(&attempt).copied() else {
                     return;
                 };
-                if !self.daemons_up.contains(&meta.node) {
+                if !self.node_reachable(meta.node) {
                     return;
                 }
+                let (cpu, _) = self.slow(meta.node);
                 sched.after(
-                    SimDuration::from_secs_f64(meta.cpu_secs),
+                    SimDuration::from_secs_f64(meta.cpu_secs * cpu),
                     Event::MapComputeDone { attempt },
                 );
             }
@@ -1337,10 +1669,14 @@ impl Model for Cluster {
             Event::PumpUpload => self.pump_upload(sched),
             Event::ResizePool { delta } => self.on_resize_pool(sched, delta),
             Event::BalancerTick => self.on_balancer_tick(sched),
+            Event::Chaos { index } => self.on_chaos(sched, index),
+            Event::ChaosEnd { index } => self.on_chaos_end(sched, index),
         }
     }
 
     fn finished(&self) -> bool {
-        self.phase == RunPhase::Done
+        // A chaos failure (invariant violation or livelock) freezes the
+        // run immediately so the dump reflects the moment of detection.
+        self.phase == RunPhase::Done || self.chaos_failure.is_some()
     }
 }

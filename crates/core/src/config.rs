@@ -1,5 +1,6 @@
 //! Cluster configuration and the paper's two reference systems.
 
+use hog_chaos::FaultPlan;
 use hog_grid::{GridParams, SiteConfig};
 use hog_hdfs::HdfsConfig;
 use hog_mapreduce::MrParams;
@@ -89,6 +90,29 @@ impl ZombieConfig {
     }
 }
 
+/// Chaos engineering knobs (hog-chaos): scripted fault injection, runtime
+/// invariant auditing and the livelock watchdog. Everything defaults to
+/// *off* so ordinary runs are byte-identical with or without the
+/// subsystem compiled in.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOptions {
+    /// Scripted fault timeline, offsets relative to workload start.
+    pub plan: FaultPlan,
+    /// Run the cross-layer invariant audit on every master tick; any
+    /// violation aborts the run with a structured report.
+    pub audit: bool,
+    /// Abort the run if no progress is observed for this long (livelock
+    /// watchdog window).
+    pub watchdog: Option<SimDuration>,
+}
+
+impl ChaosOptions {
+    /// Whether any part of the subsystem is active.
+    pub fn active(&self) -> bool {
+        !self.plan.is_empty() || self.audit || self.watchdog.is_some()
+    }
+}
+
 /// Everything needed to build a cluster.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -122,6 +146,9 @@ pub struct ClusterConfig {
     /// `(min, max)`, a controller scales the replication factor with the
     /// observed node-loss rate instead of pinning it at `hdfs.replication`.
     pub adaptive_replication: Option<(u16, u16)>,
+    /// Fault injection / auditing / watchdog (hog-chaos); inert by
+    /// default.
+    pub chaos: ChaosOptions,
 }
 
 impl ClusterConfig {
@@ -153,6 +180,7 @@ impl ClusterConfig {
             zombie_fail_delay: SimDuration::from_secs(2),
             fetch_retry_delay: SimDuration::from_secs(15),
             adaptive_replication: None,
+            chaos: ChaosOptions::default(),
         }
     }
 
@@ -186,6 +214,7 @@ impl ClusterConfig {
             zombie_fail_delay: SimDuration::from_secs(2),
             fetch_retry_delay: SimDuration::from_secs(15),
             adaptive_replication: None,
+            chaos: ChaosOptions::default(),
         }
     }
 
@@ -239,6 +268,24 @@ impl ClusterConfig {
     /// paper §VI).
     pub fn with_adaptive_replication(mut self, min: u16, max: u16) -> Self {
         self.adaptive_replication = Some((min, max));
+        self
+    }
+
+    /// Inject a scripted fault timeline (hog-chaos).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.chaos.plan = plan;
+        self
+    }
+
+    /// Toggle the runtime invariant audit (hog-chaos).
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.chaos.audit = on;
+        self
+    }
+
+    /// Arm the livelock watchdog with a no-progress window (hog-chaos).
+    pub fn with_watchdog(mut self, window: SimDuration) -> Self {
+        self.chaos.watchdog = Some(window);
         self
     }
 
@@ -308,5 +355,23 @@ mod tests {
         assert!(c.zombie.enabled);
         assert!(c.hdfs.disk_check_interval.is_some());
         assert_eq!(c.name, "x");
+    }
+
+    #[test]
+    fn chaos_defaults_off_and_builders_arm_it() {
+        let plain = ClusterConfig::hog(10, 1);
+        assert!(!plain.chaos.active(), "chaos must be inert by default");
+        assert!(!ClusterConfig::dedicated(1).chaos.active());
+        let armed = plain
+            .with_fault_plan(FaultPlan::new().at(
+                SimDuration::from_secs(60),
+                hog_chaos::Fault::ZombieOutbreak { count: 2 },
+            ))
+            .with_audit(true)
+            .with_watchdog(SimDuration::from_secs(1800));
+        assert!(armed.chaos.active());
+        assert_eq!(armed.chaos.plan.len(), 1);
+        assert!(armed.chaos.audit);
+        assert_eq!(armed.chaos.watchdog, Some(SimDuration::from_secs(1800)));
     }
 }

@@ -78,6 +78,10 @@ pub struct RunResult {
     /// Human-readable summaries of jobs that never reached a terminal
     /// state (only populated when the horizon cut the run short).
     pub stuck_jobs: Vec<String>,
+    /// Why the chaos layer aborted the run, if it did (invariant
+    /// violation or livelock). `None` on clean runs and whenever chaos
+    /// supervision is off.
+    pub chaos_failure: Option<hog_chaos::ChaosFailure>,
 }
 
 impl RunResult {
@@ -220,6 +224,7 @@ pub fn run_workload_with_events(
         events: stats.events_handled,
         stopped_early: stats.stop != hog_sim_core::engine::StopReason::ModelFinished
             && cluster.phase() != RunPhase::Done,
+        chaos_failure: cluster.chaos_failure().cloned(),
         reported_series: cluster.reported_series,
         actual_series: cluster.actual_series,
     }

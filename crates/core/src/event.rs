@@ -77,6 +77,18 @@ pub enum Event {
     /// Run one HDFS balancer iteration (paper: "They can use the HDFS
     /// balancer to balance the data distribution").
     BalancerTick,
+    /// Inject fault `index` of the configured
+    /// [`FaultPlan`](hog_chaos::FaultPlan) (hog-chaos).
+    Chaos {
+        /// Index into the fault plan.
+        index: u32,
+    },
+    /// End the windowed fault `index` of the configured fault plan
+    /// (heal a partition, restore WAN bandwidth, …).
+    ChaosEnd {
+        /// Index into the fault plan.
+        index: u32,
+    },
 }
 
 /// Why an attempt was doomed at start.

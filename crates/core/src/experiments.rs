@@ -448,6 +448,43 @@ pub fn locality_vs_replication(
         .collect()
 }
 
+/// X10 — graceful degradation under escalating chaos: replay the same
+/// workload while a seeded [`hog_chaos::FaultPlan`] injects ever harsher
+/// cross-layer faults (preemption bursts, site partitions, WAN
+/// degradation, zombie outbreaks, stragglers, master stalls), with the
+/// invariant auditor and livelock watchdog armed. Returns one arm per
+/// intensity, 0 = fault-free control.
+pub fn ablation_chaos(
+    nodes: usize,
+    intensities: &[u32],
+    threads: usize,
+) -> Vec<(u32, ComparisonArm)> {
+    let sites: Vec<String> = hog_grid::config::paper_sites()
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    let site_refs: Vec<&str> = sites.iter().map(String::as_str).collect();
+    let points: Vec<(String, SweepPoint)> = intensities
+        .iter()
+        .map(|&k| {
+            let label = format!("chaos-{k}");
+            (
+                label.clone(),
+                SweepPoint {
+                    cfg: ClusterConfig::hog(nodes, 610)
+                        .with_fault_plan(hog_chaos::FaultPlan::escalating(610, k, &site_refs))
+                        .with_audit(true)
+                        .with_watchdog(SimDuration::from_secs(3600))
+                        .named(label),
+                    workload_seed: 1610,
+                },
+            )
+        })
+        .collect();
+    let cmp = compare(points, threads);
+    intensities.iter().copied().zip(cmp.arms).collect()
+}
+
 /// Run one configuration against the paper workload (used by examples and
 /// tests).
 pub fn single_run(cfg: ClusterConfig, workload_seed: u64) -> RunResult {

@@ -40,5 +40,6 @@ pub mod report;
 pub mod sweep;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, PlacementKind, ResourceConfig, ZombieConfig};
+pub use hog_chaos as chaos;
+pub use config::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, ZombieConfig};
 pub use driver::{run_workload, JobOutcome, RunResult};

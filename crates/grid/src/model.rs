@@ -214,6 +214,34 @@ impl GridModel {
         }
     }
 
+    /// Fault injection (hog-chaos): a correlated preemption burst. Kills
+    /// up to `count` running glideins at `site` as if the batch system
+    /// evicted them simultaneously, counting each as a preemption and
+    /// resubmitting its Condor job. Victims are picked in node-id order so
+    /// the burst is deterministic. Returns the deferred resubmissions and
+    /// loss notes exactly like organic [`GridEvent::Preempt`] handling.
+    pub fn inject_preemptions(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        count: usize,
+        topo: &mut Topology,
+    ) -> GridOutput {
+        let victims: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|&n| topo.site_of(n) == site)
+            .take(count)
+            .collect();
+        let mut out = GridOutput::default();
+        for node in victims {
+            self.preemptions.incr();
+            out.merge(self.kill_node(now, node, LossReason::Preempted, topo, true));
+        }
+        out
+    }
+
     /// Negotiation cycle: match queued requests to up sites with free
     /// slots, weighting the choice by free-slot count.
     fn try_match(&mut self, _now: SimTime) -> GridOutput {

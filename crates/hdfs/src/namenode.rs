@@ -634,6 +634,113 @@ impl Namenode {
     pub fn datanodes(&self) -> impl Iterator<Item = (NodeId, &DatanodeInfo)> {
         self.datanodes.iter().map(|(&n, d)| (n, d))
     }
+
+    /// A silenced datanode resumed heartbeating (network partition healed
+    /// before the dead-node timeout fired). Only `Silent` nodes revive;
+    /// once declared `Dead` the node must re-register from scratch — its
+    /// blocks were already dropped and queued for re-replication.
+    pub fn mark_live(&mut self, now: SimTime, node: NodeId) {
+        if let Some(dn) = self.datanodes.get_mut(&node) {
+            if dn.liveness == DnLiveness::Silent {
+                dn.liveness = DnLiveness::Live;
+                dn.last_heartbeat = now;
+            }
+        }
+    }
+
+    /// Fault injection (hog-chaos): corrupt a datanode's `used` accounting
+    /// by `delta` bytes without touching its block set, so the next audit
+    /// must flag the divergence. Test-only; never called by the simulation
+    /// itself.
+    #[doc(hidden)]
+    pub fn debug_skew_used(&mut self, node: NodeId, delta: u64) {
+        if let Some(dn) = self.datanodes.get_mut(&node) {
+            dn.used += delta;
+        }
+    }
+}
+
+impl hog_sim_core::Auditable for Namenode {
+    /// Cross-check the namenode's two views of the cluster: the per-block
+    /// replica map and the per-datanode block/usage accounting must agree
+    /// exactly, dead datanodes must hold nothing, and no datanode may
+    /// claim more bytes than its capacity.
+    fn audit(&self) -> Vec<hog_sim_core::Violation> {
+        use hog_sim_core::Violation;
+        let mut out = Vec::new();
+        for (&n, dn) in &self.datanodes {
+            let tallied: u64 = dn
+                .blocks
+                .iter()
+                .map(|b| self.blocks[b.0 as usize].size)
+                .sum();
+            if tallied != dn.used {
+                out.push(Violation::new(
+                    "hdfs",
+                    format!(
+                        "datanode {} accounting skew: used={} but hosted blocks total {}",
+                        n.0, dn.used, tallied
+                    ),
+                ));
+            }
+            if dn.used > dn.capacity {
+                out.push(Violation::new(
+                    "hdfs",
+                    format!(
+                        "datanode {} over capacity: used={} capacity={}",
+                        n.0, dn.used, dn.capacity
+                    ),
+                ));
+            }
+            if dn.liveness == DnLiveness::Dead && (!dn.blocks.is_empty() || dn.used != 0) {
+                out.push(Violation::new(
+                    "hdfs",
+                    format!(
+                        "dead datanode {} still accounts {} block(s) / {} bytes",
+                        n.0,
+                        dn.blocks.len(),
+                        dn.used
+                    ),
+                ));
+            }
+            for &b in &dn.blocks {
+                if !self.blocks[b.0 as usize].replicas.contains(&n) {
+                    out.push(Violation::new(
+                        "hdfs",
+                        format!(
+                            "datanode {} hosts block {} missing from the block map",
+                            n.0, b.0
+                        ),
+                    ));
+                }
+            }
+        }
+        for (i, meta) in self.blocks.iter().enumerate() {
+            for &n in &meta.replicas {
+                match self.datanodes.get(&n) {
+                    None => out.push(Violation::new(
+                        "hdfs",
+                        format!("block {i} lists unknown datanode {}", n.0),
+                    )),
+                    Some(dn) if dn.liveness == DnLiveness::Dead => out.push(Violation::new(
+                        "hdfs",
+                        format!("block {i} lists dead datanode {} as replica", n.0),
+                    )),
+                    Some(dn) if !dn.blocks.contains(&BlockId(i as u64)) => {
+                        out.push(Violation::new(
+                            "hdfs",
+                            format!(
+                                "block {i} lists datanode {} which does not host it",
+                                n.0
+                            ),
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1040,3 +1040,77 @@ impl JobTracker {
         &mut self.rng
     }
 }
+
+impl hog_sim_core::Auditable for JobTracker {
+    /// Cross-check tracker occupancy against the job table: slot and
+    /// scratch usage must respect capacity, dead trackers must hold no
+    /// attempts, and every attempt a tracker claims to run must exist in
+    /// its job's state as `Running` on exactly that node.
+    fn audit(&self) -> Vec<hog_sim_core::Violation> {
+        use hog_sim_core::Violation;
+        let mut out = Vec::new();
+        for (&n, t) in &self.trackers {
+            let maps = t.running_of(TaskKind::Map);
+            let reduces = t.running_of(TaskKind::Reduce);
+            if maps > t.map_slots as usize {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "tracker {} runs {maps} maps on {} map slots",
+                        n.0, t.map_slots
+                    ),
+                ));
+            }
+            if reduces > t.reduce_slots as usize {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "tracker {} runs {reduces} reduces on {} reduce slots",
+                        n.0, t.reduce_slots
+                    ),
+                ));
+            }
+            if t.scratch_used > t.scratch_capacity {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "tracker {} scratch overcommitted: {}/{} bytes",
+                        n.0, t.scratch_used, t.scratch_capacity
+                    ),
+                ));
+            }
+            if t.liveness == TrackerLiveness::Dead && !t.running.is_empty() {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "dead tracker {} still holds {} running attempt(s)",
+                        n.0,
+                        t.running.len()
+                    ),
+                ));
+            }
+            for &att in &t.running {
+                if !self.attempt_active(att) {
+                    out.push(Violation::new(
+                        "mapreduce",
+                        format!("tracker {} holds inactive attempt {att:?}", n.0),
+                    ));
+                    continue;
+                }
+                let rec = &self.jobs[att.task.job.0 as usize]
+                    .task(att.task)
+                    .attempts[att.attempt as usize];
+                if rec.node != n {
+                    out.push(Violation::new(
+                        "mapreduce",
+                        format!(
+                            "attempt {att:?} recorded on node {} but held by tracker {}",
+                            rec.node.0, n.0
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

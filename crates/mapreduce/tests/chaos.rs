@@ -5,7 +5,11 @@
 //! * slot accounting never goes negative or exceeds capacity;
 //! * every job eventually reaches a terminal state once chaos stops;
 //! * `maps_done`/`reduces_done` never exceed task counts;
-//! * no attempt is running on a dead tracker.
+//! * no attempt is running on a dead tracker;
+//! * a dead tracker can re-register (the partition-heal path) and the
+//!   revived node picks up work again without corrupting accounting;
+//! * the runtime invariant auditor ([`hog_sim_core::Auditable`]) stays
+//!   clean across every interleaving.
 
 use hog_hdfs::BlockId;
 use hog_mapreduce::job::JobStatus;
@@ -25,6 +29,9 @@ enum Chaos {
     DriveReduce(usize),
     /// Silence a random tracker, then declare deaths later.
     KillTracker(usize),
+    /// Re-register a dead tracker (the cluster does this when a network
+    /// partition heals and the node reports back in).
+    ReviveTracker(usize),
     /// Heartbeat everyone (assign work).
     HeartbeatAll,
 }
@@ -35,6 +42,7 @@ fn chaos_strategy() -> impl Strategy<Value = Chaos> {
         (0usize..32).prop_map(Chaos::FailAttempt),
         (0usize..32).prop_map(Chaos::DriveReduce),
         (0usize..32).prop_map(Chaos::KillTracker),
+        (0usize..32).prop_map(Chaos::ReviveTracker),
         Just(Chaos::HeartbeatAll),
     ]
 }
@@ -129,6 +137,11 @@ impl World {
             assert!(j.maps_done <= j.spec.maps());
             assert!(j.reduces_done <= j.spec.reduces);
         }
+        // The same auditor the chaos subsystem runs on every master tick:
+        // slot bounds, scratch bounds, dead-tracker emptiness, and
+        // attempt/bookkeeping agreement.
+        let violations = hog_sim_core::Auditable::audit(&self.jt);
+        assert!(violations.is_empty(), "auditor: {violations:?}");
     }
 }
 
@@ -200,6 +213,20 @@ proptest! {
                         let victim = live[i % live.len()];
                         w.jt.tracker_silent(w.now, victim);
                         w.dead.push(victim);
+                    }
+                }
+                Chaos::ReviveTracker(i) => {
+                    if !w.dead.is_empty() {
+                        let back = w.dead.remove(i % w.dead.len());
+                        // A fresh registration wipes the dead record and
+                        // restores the node's slots, exactly like a
+                        // healed partition member reporting back in.
+                        w.jt.register_tracker(w.now, back, 1, 1);
+                        assert!(w.jt.tracker_live(back), "revived tracker must be live");
+                        assert!(
+                            w.jt.tracker(back).unwrap().running.is_empty(),
+                            "revived tracker must come back empty"
+                        );
                     }
                 }
             }

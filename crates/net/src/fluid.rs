@@ -56,6 +56,9 @@ pub struct FluidNet {
     next_flow_id: u64,
     /// Number of rate recomputations performed (diagnostics / benches).
     recomputes: u64,
+    /// WAN degradation multiplier applied to site up/downlink capacity
+    /// (1.0 = healthy; chaos fault injection lowers it temporarily).
+    wan_factor: f64,
 }
 
 /// Completion threshold: a flow with fewer than this many bytes left is
@@ -73,6 +76,7 @@ impl FluidNet {
             last_update: SimTime::ZERO,
             next_flow_id: 0,
             recomputes: 0,
+            wan_factor: 1.0,
         }
     }
 
@@ -95,9 +99,25 @@ impl FluidNet {
         match link {
             LinkKey::NodeUp(_) => self.params.nic_up,
             LinkKey::NodeDown(_) => self.params.nic_down,
-            LinkKey::SiteUp(_) => self.params.site_up,
-            LinkKey::SiteDown(_) => self.params.site_down,
+            LinkKey::SiteUp(_) => self.params.site_up * self.wan_factor,
+            LinkKey::SiteDown(_) => self.params.site_down * self.wan_factor,
         }
+    }
+
+    /// Scale every site up/downlink to `factor` × its configured capacity
+    /// (chaos: WAN degradation window). `factor` is clamped to a small
+    /// positive minimum so flows keep draining; `1.0` restores full
+    /// bandwidth. In-flight flows are progressed to `now` first and their
+    /// rates recomputed under the new capacities.
+    pub fn set_wan_factor(&mut self, now: SimTime, factor: f64) {
+        self.progress_to(now);
+        self.wan_factor = factor.max(1e-3);
+        self.recompute_rates();
+    }
+
+    /// The WAN degradation multiplier currently in force.
+    pub fn wan_factor(&self) -> f64 {
+        self.wan_factor
     }
 
     fn path_for(&self, src: NodeId, dst: NodeId, diffuse_src: bool) -> Vec<LinkKey> {
@@ -302,6 +322,56 @@ impl FluidNet {
         // scheduled instant always drains the flow below DONE_EPS.
         let ms = (secs * 1000.0).ceil().max(1.0);
         Some(self.last_update + SimDuration::from_millis(ms as u64))
+    }
+}
+
+impl hog_sim_core::Auditable for FluidNet {
+    /// Flow-conservation / feasibility audit: every active flow must have
+    /// a finite non-negative rate and positive remaining bytes, both
+    /// endpoints must be registered, and the summed rate over each shared
+    /// link must not exceed its (possibly WAN-degraded) capacity.
+    fn audit(&self) -> Vec<hog_sim_core::Violation> {
+        use hog_sim_core::Violation;
+        let mut out = Vec::new();
+        let mut load: HashMap<LinkKey, f64> = HashMap::new();
+        for f in &self.flows {
+            if !f.rate.is_finite() || f.rate < 0.0 {
+                out.push(Violation::new(
+                    "net",
+                    format!("flow {} has invalid rate {}", f.id.0, f.rate),
+                ));
+            }
+            if f.remaining.is_nan() || f.remaining <= 0.0 {
+                out.push(Violation::new(
+                    "net",
+                    format!(
+                        "flow {} remains active with {} bytes left",
+                        f.id.0, f.remaining
+                    ),
+                ));
+            }
+            for end in [f.src, f.dst] {
+                if !self.sites_of.contains_key(&end) {
+                    out.push(Violation::new(
+                        "net",
+                        format!("flow {} touches unregistered node {}", f.id.0, end.0),
+                    ));
+                }
+            }
+            for l in &f.path {
+                *load.entry(*l).or_insert(0.0) += f.rate;
+            }
+        }
+        for (l, used) in &load {
+            let cap = self.cap_of(*l);
+            if *used > cap * (1.0 + 1e-6) + 1.0 {
+                out.push(Violation::new(
+                    "net",
+                    format!("link {l:?} oversubscribed: {used:.1} B/s on {cap:.1} B/s"),
+                ));
+            }
+        }
+        out
     }
 }
 

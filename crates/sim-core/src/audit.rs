@@ -1,0 +1,87 @@
+//! Runtime invariant auditing primitives.
+//!
+//! Substrate models (network, HDFS, MapReduce, …) expose an `audit()`
+//! method returning a list of [`Violation`]s — internal-consistency
+//! breaches that should never occur in a correct simulation, whatever
+//! faults are injected. The chaos layer (`hog-chaos`) aggregates these
+//! into a structured failure report; a clean model returns an empty list.
+
+use crate::time::SimTime;
+
+/// One breached invariant, attributed to the layer that detected it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which layer detected the breach (`"net"`, `"hdfs"`, `"mapreduce"`,
+    /// `"cluster"`, …).
+    pub layer: &'static str,
+    /// Human-readable description of the breached invariant, with enough
+    /// state to debug it (node ids, counters, expected vs actual).
+    pub detail: String,
+}
+
+impl Violation {
+    /// Build a violation for `layer` with the given description.
+    pub fn new(layer: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            layer,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.layer, self.detail)
+    }
+}
+
+/// A model whose internal bookkeeping can be cross-checked at runtime.
+///
+/// Implementations must be *pure observers*: calling `audit` must not
+/// change model state or consume randomness, so that enabling auditing
+/// never perturbs a deterministic run.
+pub trait Auditable {
+    /// Check every internal invariant; return one [`Violation`] per breach
+    /// (empty when consistent).
+    fn audit(&self) -> Vec<Violation>;
+}
+
+/// Render a violation list as a structured multi-line dump with a header
+/// carrying the simulation time — the body of a chaos failure report.
+pub fn render_violations(at: SimTime, violations: &[Violation]) -> String {
+    let mut out = format!(
+        "invariant audit failed at t={}s: {} violation(s)\n",
+        at.as_millis() / 1000,
+        violations.len()
+    );
+    for v in violations {
+        out.push_str("  - ");
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_formats_with_layer() {
+        let v = Violation::new("hdfs", "used mismatch on node 3");
+        assert_eq!(v.to_string(), "[hdfs] used mismatch on node 3");
+    }
+
+    #[test]
+    fn render_includes_time_and_every_violation() {
+        let vs = vec![
+            Violation::new("net", "link over capacity"),
+            Violation::new("mapreduce", "slot overflow"),
+        ];
+        let dump = render_violations(SimTime::from_millis(42_000), &vs);
+        assert!(dump.contains("t=42s"));
+        assert!(dump.contains("2 violation(s)"));
+        assert!(dump.contains("[net] link over capacity"));
+        assert!(dump.contains("[mapreduce] slot overflow"));
+    }
+}

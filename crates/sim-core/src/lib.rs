@@ -18,6 +18,8 @@
 //!   (area-beneath-curve as used in the paper's Table IV), histograms and
 //!   summary statistics.
 //! * [`units`] — byte/bandwidth helper constants.
+//! * [`audit`] — runtime invariant auditing ([`Violation`], [`Auditable`])
+//!   used by the chaos/fault-injection layer.
 //!
 //! Everything is deterministic given a seed: the same
 //! `(model, seed)` pair replays the exact same event sequence. This is the
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod dist;
 pub mod engine;
 pub mod metrics;
@@ -34,6 +37,7 @@ pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use audit::{Auditable, Violation};
 pub use dist::{Exponential, LogNormal, UniformDuration};
 pub use engine::{Model, Simulation};
 pub use metrics::{Counter, Histogram, StepSeries, Summary};

@@ -13,6 +13,7 @@
 //! | [`hdfs`] (`hog-hdfs`) | namenode, datanodes, site-aware placement |
 //! | [`mapreduce`] (`hog-mapreduce`) | JobTracker/TaskTrackers, shuffle |
 //! | [`workload`] (`hog-workload`) | Facebook schedule (Tables I & II) |
+//! | [`chaos`] (`hog-chaos`) | fault plans, invariant auditing, livelock watchdog |
 //! | [`core`] (`hog-core`) | the HOG system, baselines, experiments |
 //!
 //! ## Quickstart
@@ -32,6 +33,7 @@
 //! );
 //! ```
 
+pub use hog_chaos as chaos;
 pub use hog_core as core;
 pub use hog_grid as grid;
 pub use hog_hdfs as hdfs;
@@ -42,8 +44,9 @@ pub use hog_workload as workload;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
+    pub use hog_chaos::{ChaosFailure, Fault, FaultPlan};
     pub use hog_core::driver::{run_workload, JobOutcome, RunResult};
-    pub use hog_core::{ClusterConfig, PlacementKind, ResourceConfig};
+    pub use hog_core::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig};
     pub use hog_sim_core::{SimDuration, SimTime};
     pub use hog_workload::SubmissionSchedule;
 }
