@@ -77,6 +77,20 @@ impl ChaosFailure {
             ChaosFailure::Livelock { dump, .. } => dump,
         }
     }
+
+    /// Append extra context (e.g. a flight-recorder tail) to the report
+    /// body. Empty strings are ignored.
+    pub fn append_context(&mut self, extra: &str) {
+        if extra.is_empty() {
+            return;
+        }
+        let dump = match self {
+            ChaosFailure::InvariantViolation { dump, .. } => dump,
+            ChaosFailure::Livelock { dump, .. } => dump,
+        };
+        dump.push('\n');
+        dump.push_str(extra);
+    }
 }
 
 /// Runtime invariant auditor: feed it the violations collected from every

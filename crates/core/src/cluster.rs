@@ -26,6 +26,9 @@ use hog_hdfs::{
 use hog_mapreduce::jobtracker::FailReason;
 use hog_mapreduce::{Assignment, AttemptRef, JobId, JobSubmission, JobTracker, JtNote, ReduceStep};
 use hog_net::{FlowEnd, FlowId, FlowOutcome, FluidNet, Network, NodeId, Topology};
+use hog_obs::{
+    render_tail, HistogramId, Layer, MetricId, MetricsRegistry, TraceEvent, TraceLog, Tracer,
+};
 use hog_sim_core::engine::{Model, Scheduler};
 use hog_sim_core::metrics::StepSeries;
 use hog_sim_core::units::transfer_secs;
@@ -122,6 +125,51 @@ pub struct ClusterCounters {
     pub fetch_timeouts: u64,
 }
 
+/// Handles into the per-layer metrics registry (hog-obs), sampled every
+/// master tick.
+struct ObsMetrics {
+    reg: MetricsRegistry,
+    pool_usable: MetricId,
+    pool_reported: MetricId,
+    zombies: MetricId,
+    node_starts: MetricId,
+    missing_blocks: MetricId,
+    repl_completed: MetricId,
+    maps_done: MetricId,
+    reduces_done: MetricId,
+    task_failures: MetricId,
+    jobs_finished: MetricId,
+    flows_active: MetricId,
+    flows_done: MetricId,
+    job_secs: HistogramId,
+}
+
+impl ObsMetrics {
+    fn new() -> Self {
+        let mut reg = MetricsRegistry::new();
+        ObsMetrics {
+            pool_usable: reg.register(Layer::Core, "pool_usable"),
+            pool_reported: reg.register(Layer::Core, "pool_reported"),
+            zombies: reg.register(Layer::Core, "zombies"),
+            node_starts: reg.register(Layer::Grid, "node_starts"),
+            missing_blocks: reg.register(Layer::Hdfs, "missing_blocks"),
+            repl_completed: reg.register(Layer::Hdfs, "repl_completed"),
+            maps_done: reg.register(Layer::MapReduce, "maps_done"),
+            reduces_done: reg.register(Layer::MapReduce, "reduces_done"),
+            task_failures: reg.register(Layer::MapReduce, "task_failures"),
+            jobs_finished: reg.register(Layer::MapReduce, "jobs_finished"),
+            flows_active: reg.register(Layer::Net, "flows_active"),
+            flows_done: reg.register(Layer::Net, "flows_done"),
+            job_secs: reg.register_histogram(
+                Layer::MapReduce,
+                "job_secs",
+                vec![60.0, 300.0, 600.0, 1200.0, 3600.0, 7200.0, 14400.0],
+            ),
+            reg,
+        }
+    }
+}
+
 /// The full-cluster simulation model.
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -188,6 +236,10 @@ pub struct Cluster {
     flows_done: u64,
     /// Set when the chaos layer aborted the run.
     chaos_failure: Option<ChaosFailure>,
+    /// Shared trace handle (hog-obs); a no-op unless configured.
+    tracer: Tracer,
+    /// Metrics registry + handles, when `cfg.obs.metrics` is set.
+    obs_metrics: Option<ObsMetrics>,
 }
 
 impl Cluster {
@@ -211,8 +263,13 @@ impl Cluster {
             // grid has registered its sites in the topology.
             PlacementKind::AnchorFirst { .. } => Box::new(SiteAwarePolicy),
         };
-        let nn = Namenode::new(cfg.hdfs.clone(), placement, rng.fork(2));
-        let jt = JobTracker::new(cfg.mr, rng.fork(3));
+        let tracer = Tracer::new(cfg.obs.trace);
+        net.set_tracer(tracer.clone());
+        let mut nn = Namenode::new(cfg.hdfs.clone(), placement, rng.fork(2));
+        nn.set_tracer(tracer.clone());
+        let mut jt = JobTracker::new(cfg.mr, rng.fork(3));
+        jt.set_tracer(tracer.clone());
+        let obs_metrics = cfg.obs.metrics.then(ObsMetrics::new);
         let target_nodes = cfg.resource.target_nodes();
         let n_jobs = schedule.len();
         let cfg2 = cfg.adaptive_replication;
@@ -265,6 +322,8 @@ impl Cluster {
             watchdog: chaos_watchdog.map(Watchdog::new),
             flows_done: 0,
             chaos_failure: None,
+            tracer,
+            obs_metrics,
         }
     }
 
@@ -297,6 +356,7 @@ impl Cluster {
             } => {
                 let (mut grid, init) =
                     GridModel::new(params, sites, &mut self.topo, self.rng.fork(1));
+                grid.set_tracer(self.tracer.clone());
                 for (d, e) in init {
                     sim.schedule(SimTime::ZERO + d, Event::Grid(e));
                 }
@@ -475,6 +535,11 @@ impl Cluster {
             eprintln!("upload done at {}: replica histogram {hist:?}", sched.now());
         }
         self.phase = RunPhase::Running;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "phase")
+                .with("to", "running")
+                .with("files", self.input_files.len())
+        });
         let base = sched.now();
         self.workload_start = Some(base + (self.schedule[0].submit_at - SimTime::ZERO));
         for (i, spec) in self.schedule.iter().enumerate() {
@@ -849,6 +914,11 @@ impl Cluster {
         self.register_worker(node, m, r, sched);
         if self.phase == RunPhase::Forming && self.daemons_up.len() >= self.target_nodes {
             self.phase = RunPhase::Uploading;
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::Core, "phase")
+                    .with("to", "uploading")
+                    .with("pool", self.daemons_up.len())
+            });
             self.begin_upload_queue();
             sched.now_event(Event::PumpUpload);
         }
@@ -865,6 +935,8 @@ impl Cluster {
             // Double-forked daemons survive the kill; their working
             // directory is gone. They keep heartbeating.
             self.zombies.insert(node);
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Core, "zombie_spawn").with("node", node.0));
             self.nn.mark_storage_failed(node);
         } else {
             self.shutdown_daemons(node, sched);
@@ -1175,9 +1247,17 @@ impl Cluster {
         if self.job_results[idx].is_none() {
             self.job_results[idx] = Some((sched.now(), ok));
             self.finished_jobs += 1;
+            if ok {
+                if let (Some(m), Some(start)) = (&mut self.obs_metrics, self.workload_start) {
+                    m.reg
+                        .observe(m.job_secs, sched.now().saturating_since(start).as_secs_f64());
+                }
+            }
             if self.finished_jobs == self.schedule.len() {
                 self.workload_end = Some(sched.now());
                 self.phase = RunPhase::Done;
+                self.tracer
+                    .emit(|| TraceEvent::new(Layer::Core, "phase").with("to", "done"));
             }
         }
     }
@@ -1237,6 +1317,11 @@ impl Cluster {
             grid.remove_workers(sched.now(), shrink, &mut self.topo)
         };
         self.grid = Some(grid);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "pool_resize")
+                .with("delta", delta)
+                .with("target", self.target_nodes)
+        });
         for (d, e) in out.defer {
             sched.after(d, Event::Grid(e));
         }
@@ -1304,6 +1389,13 @@ impl Cluster {
             .record(sched.now(), self.jt.reported_live() as f64);
         let usable = self.daemons_up.len() - self.zombies.len();
         self.actual_series.record(sched.now(), usable as f64);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "master_tick")
+                .with("reported", self.jt.reported_live())
+                .with("usable", usable)
+                .with("stalled", stalled)
+        });
+        self.sample_metrics(sched.now());
         // Adaptive replication (X9): scale durability with instability.
         if !stalled {
             if let Some(ad) = &mut self.adaptive {
@@ -1322,6 +1414,34 @@ impl Cluster {
         sched.after(self.cfg.hdfs.replication_monitor_interval, Event::MasterTick);
     }
 
+    /// Record the current value of every registered metric (when the
+    /// registry is enabled). Called once per master tick.
+    fn sample_metrics(&mut self, now: SimTime) {
+        if self.obs_metrics.is_none() {
+            return;
+        }
+        let sig = self.progress_sig();
+        let usable = self.daemons_up.len() - self.zombies.len();
+        let zombies = self.zombies.len();
+        let reported = self.jt.reported_live();
+        let missing = self.missing_input_blocks();
+        let flows_active = self.flows.len();
+        let m = self.obs_metrics.as_mut().unwrap();
+        m.reg.set(m.pool_usable, usable as f64);
+        m.reg.set(m.pool_reported, reported as f64);
+        m.reg.set(m.zombies, zombies as f64);
+        m.reg.set(m.node_starts, sig.node_starts as f64);
+        m.reg.set(m.missing_blocks, missing as f64);
+        m.reg.set(m.repl_completed, sig.repl_completed as f64);
+        m.reg.set(m.maps_done, sig.maps_done as f64);
+        m.reg.set(m.reduces_done, sig.reduces_done as f64);
+        m.reg.set(m.task_failures, sig.task_failures as f64);
+        m.reg.set(m.jobs_finished, sig.jobs_finished as f64);
+        m.reg.set(m.flows_active, flows_active as f64);
+        m.reg.set(m.flows_done, sig.flows_finished as f64);
+        m.reg.snapshot(now);
+    }
+
     // ==================================================================
     // Chaos: fault injection, invariant auditing, livelock detection
     // ==================================================================
@@ -1334,11 +1454,28 @@ impl Cluster {
             .map(|s| s.id)
     }
 
+    fn fault_name(fault: &Fault) -> &'static str {
+        match fault {
+            Fault::PreemptBurst { .. } => "preempt_burst",
+            Fault::SitePartition { .. } => "site_partition",
+            Fault::WanDegrade { .. } => "wan_degrade",
+            Fault::ZombieOutbreak { .. } => "zombie_outbreak",
+            Fault::Straggler { .. } => "straggler",
+            Fault::MasterStall { .. } => "master_stall",
+            Fault::CorruptAccounting { .. } => "corrupt_accounting",
+        }
+    }
+
     /// Apply the `index`-th fault of the configured plan.
     fn on_chaos(&mut self, sched: &mut Scheduler<'_, Event>, index: u32) {
         let Some(tf) = self.cfg.chaos.plan.faults().get(index as usize).cloned() else {
             return;
         };
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Chaos, "chaos_inject")
+                .with("index", index)
+                .with("fault", Self::fault_name(&tf.fault))
+        });
         match tf.fault {
             Fault::PreemptBurst { site, count } => {
                 let Some(site) = self.site_by_name(&site) else {
@@ -1438,6 +1575,11 @@ impl Cluster {
         let Some(tf) = self.cfg.chaos.plan.faults().get(index as usize).cloned() else {
             return;
         };
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Chaos, "chaos_heal")
+                .with("index", index)
+                .with("fault", Self::fault_name(&tf.fault))
+        });
         match tf.fault {
             Fault::SitePartition { .. } => {
                 let members = self.partition_members.remove(&index).unwrap_or_default();
@@ -1490,16 +1632,27 @@ impl Cluster {
             if let Some(aud) = &mut self.auditor {
                 if let Some(f) = aud.observe(now, violations) {
                     self.chaos_failure = Some(f);
-                    return;
                 }
             }
         }
-        if self.watchdog.is_some() && self.phase != RunPhase::Done {
+        if self.chaos_failure.is_none() && self.watchdog.is_some() && self.phase != RunPhase::Done
+        {
             let sig = self.progress_sig();
             if let Some(wd) = &mut self.watchdog {
                 if let Some(f) = wd.observe(now, sig) {
                     self.chaos_failure = Some(f);
                 }
+            }
+        }
+        // A fresh failure gets the flight-recorder tail appended to its
+        // dump. The tail is captured before any further event is emitted,
+        // so its last entry precedes (or coincides with) the failure time.
+        if self.chaos_failure.is_some() && self.tracer.enabled() {
+            let tail = self.tracer.tail(self.cfg.obs.dump_tail);
+            let rendered =
+                render_tail(&tail, self.tracer.events_recorded(), self.tracer.dropped());
+            if let Some(f) = &mut self.chaos_failure {
+                f.append_context(&rendered);
             }
         }
     }
@@ -1560,12 +1713,25 @@ impl Cluster {
     pub fn chaos_failure(&self) -> Option<&ChaosFailure> {
         self.chaos_failure.as_ref()
     }
+
+    /// Drain the structured trace (None when tracing was off).
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.tracer.take_log()
+    }
+
+    /// Extract the metrics registry (None when metrics were off).
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.obs_metrics.take().map(|m| m.reg)
+    }
 }
 
 impl Model for Cluster {
     type Event = Event;
 
     fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
+        // Keep the recorder's clock current: every emit between here and
+        // the next dispatch is stamped with this instant.
+        self.tracer.advance(sched.now());
         match event {
             Event::Grid(g) => {
                 let Some(mut grid) = self.grid.take() else {
@@ -1617,6 +1783,9 @@ impl Model for Cluster {
                 if self.zombies.contains(&node) {
                     // The self-check noticed the working directory is
                     // gone: shut down cleanly (the paper's fix).
+                    self.tracer.emit(|| {
+                        TraceEvent::new(Layer::Core, "zombie_detected").with("node", node.0)
+                    });
                     self.shutdown_daemons(node, sched);
                 } else if let Some(d) = self.cfg.hdfs.disk_check_interval {
                     sched.after(d, Event::DiskCheck { node });

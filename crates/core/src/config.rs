@@ -5,6 +5,7 @@ use hog_grid::{GridParams, SiteConfig};
 use hog_hdfs::HdfsConfig;
 use hog_mapreduce::MrParams;
 use hog_net::NetParams;
+use hog_obs::{ObsOptions, TraceMode};
 use hog_sim_core::units::GIB;
 use hog_sim_core::SimDuration;
 use hog_workload::LoadgenParams;
@@ -149,6 +150,9 @@ pub struct ClusterConfig {
     /// Fault injection / auditing / watchdog (hog-chaos); inert by
     /// default.
     pub chaos: ChaosOptions,
+    /// Structured tracing and the metrics registry (hog-obs); inert by
+    /// default — untraced runs build no events.
+    pub obs: ObsOptions,
 }
 
 impl ClusterConfig {
@@ -181,6 +185,7 @@ impl ClusterConfig {
             fetch_retry_delay: SimDuration::from_secs(15),
             adaptive_replication: None,
             chaos: ChaosOptions::default(),
+            obs: ObsOptions::default(),
         }
     }
 
@@ -215,6 +220,7 @@ impl ClusterConfig {
             fetch_retry_delay: SimDuration::from_secs(15),
             adaptive_replication: None,
             chaos: ChaosOptions::default(),
+            obs: ObsOptions::default(),
         }
     }
 
@@ -286,6 +292,27 @@ impl ClusterConfig {
     /// Arm the livelock watchdog with a no-progress window (hog-chaos).
     pub fn with_watchdog(mut self, window: SimDuration) -> Self {
         self.chaos.watchdog = Some(window);
+        self
+    }
+
+    /// Set the trace mode (hog-obs): `Ring(cap)` keeps the last `cap`
+    /// events (flight recorder), `Full` retains everything for export.
+    pub fn with_tracing(mut self, mode: TraceMode) -> Self {
+        self.obs.trace = mode;
+        self
+    }
+
+    /// Arm the flight recorder: a bounded ring of the last `cap` trace
+    /// events, appended to chaos failure dumps.
+    pub fn with_flight_recorder(mut self, cap: usize) -> Self {
+        self.obs.trace = TraceMode::Ring(cap);
+        self
+    }
+
+    /// Enable the per-layer metrics registry, snapshotted every master
+    /// tick (hog-obs).
+    pub fn with_metrics(mut self) -> Self {
+        self.obs.metrics = true;
         self
     }
 
@@ -373,5 +400,19 @@ mod tests {
         assert_eq!(armed.chaos.plan.len(), 1);
         assert!(armed.chaos.audit);
         assert_eq!(armed.chaos.watchdog, Some(SimDuration::from_secs(1800)));
+    }
+
+    #[test]
+    fn obs_defaults_off_and_builders_arm_it() {
+        let plain = ClusterConfig::hog(10, 1);
+        assert!(!plain.obs.active(), "observability must be inert by default");
+        assert!(!ClusterConfig::dedicated(1).obs.active());
+        let traced = plain.clone().with_tracing(TraceMode::Full).with_metrics();
+        assert!(traced.obs.active());
+        assert_eq!(traced.obs.trace, TraceMode::Full);
+        assert!(traced.obs.metrics);
+        let ringed = plain.with_flight_recorder(64);
+        assert_eq!(ringed.obs.trace, TraceMode::Ring(64));
+        assert!(!ringed.obs.metrics);
     }
 }

@@ -82,6 +82,10 @@ pub struct RunResult {
     /// violation or livelock). `None` on clean runs and whenever chaos
     /// supervision is off.
     pub chaos_failure: Option<hog_chaos::ChaosFailure>,
+    /// The structured trace, when `cfg.obs.trace` was on (hog-obs).
+    pub trace: Option<hog_obs::TraceLog>,
+    /// The per-layer metrics registry, when `cfg.obs.metrics` was on.
+    pub metrics: Option<hog_obs::MetricsRegistry>,
 }
 
 impl RunResult {
@@ -225,6 +229,8 @@ pub fn run_workload_with_events(
         stopped_early: stats.stop != hog_sim_core::engine::StopReason::ModelFinished
             && cluster.phase() != RunPhase::Done,
         chaos_failure: cluster.chaos_failure().cloned(),
+        trace: cluster.take_trace(),
+        metrics: cluster.take_metrics(),
         reported_series: cluster.reported_series,
         actual_series: cluster.actual_series,
     }

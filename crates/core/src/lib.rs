@@ -41,5 +41,6 @@ pub mod sweep;
 
 pub use cluster::Cluster;
 pub use hog_chaos as chaos;
+pub use hog_obs as obs;
 pub use config::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, ZombieConfig};
 pub use driver::{run_workload, JobOutcome, RunResult};

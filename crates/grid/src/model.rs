@@ -18,6 +18,7 @@
 use crate::config::{GridParams, SiteConfig};
 use crate::{Deferred, GridEvent, GridNote, RequestId};
 use hog_net::{NodeId, SiteId, Topology};
+use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::metrics::{Counter, StepSeries};
 use hog_sim_core::units::transfer_secs;
 use hog_sim_core::{SimDuration, SimRng, SimTime};
@@ -87,6 +88,17 @@ pub struct GridModel {
     preemptions: Counter,
     outages: Counter,
     node_starts: Counter,
+    tracer: Tracer,
+}
+
+impl LossReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            LossReason::Preempted => "preempted",
+            LossReason::SiteOutage => "site_outage",
+            LossReason::Removed => "removed",
+        }
+    }
 }
 
 impl GridModel {
@@ -130,9 +142,19 @@ impl GridModel {
                 preemptions: Counter::new(),
                 outages: Counter::new(),
                 node_starts: Counter::new(),
+                tracer: Tracer::disabled(),
             },
             defer,
         )
+    }
+
+    /// Attach the shared trace handle (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn site_name(&self, site: SiteId) -> &str {
+        &self.sites[self.site_idx(site)].config.name
     }
 
     /// Local index of a (grid-registered) site. Topology may hold other
@@ -147,6 +169,8 @@ impl GridModel {
 
     /// Queue `n` glidein requests (the paper's `queue 1000` line).
     pub fn submit_workers(&mut self, now: SimTime, n: usize) -> GridOutput {
+        self.tracer
+            .emit(|| TraceEvent::new(Layer::Grid, "glidein_submit").with("count", n));
         for _ in 0..n {
             let id = RequestId(self.requests.len() as u64);
             self.requests.push(RequestState::Queued);
@@ -235,6 +259,11 @@ impl GridModel {
             .take(count)
             .collect();
         let mut out = GridOutput::default();
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Grid, "preempt_burst")
+                .with("site", self.site_name(site))
+                .with("victims", victims.len())
+        });
         for node in victims {
             self.preemptions.incr();
             out.merge(self.kill_node(now, node, LossReason::Preempted, topo, true));
@@ -311,6 +340,12 @@ impl GridModel {
         self.nodes.insert(node, request);
         self.node_starts.incr();
         self.running_series.record(now, self.nodes.len() as f64);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Grid, "node_start")
+                .with("node", node.0)
+                .with("site", self.site_name(site))
+                .with("pool", self.nodes.len())
+        });
         let mut out = GridOutput::default();
         out.notes.push(GridNote::NodeStarted { node });
         let lifetime = self.sites[self.site_idx(site)]
@@ -340,6 +375,13 @@ impl GridModel {
         let i = self.site_idx(site);
         self.sites[i].used_slots -= 1;
         self.running_series.record(now, self.nodes.len() as f64);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Grid, "node_lost")
+                .with("node", node.0)
+                .with("site", self.site_name(site))
+                .with("reason", reason.as_str())
+                .with("pool", self.nodes.len())
+        });
         out.notes.push(GridNote::NodeLost { node, reason });
         if requeue {
             self.requests[request.0 as usize] = RequestState::Resubmitting;
@@ -359,6 +401,9 @@ impl GridModel {
         }
         self.outages.incr();
         self.sites[idx].up = false;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Grid, "site_outage").with("site", self.site_name(site))
+        });
         // Kill every running node at the site.
         let victims: Vec<NodeId> = self
             .nodes
@@ -390,6 +435,9 @@ impl GridModel {
     fn on_site_recover(&mut self, now: SimTime, site: SiteId) -> GridOutput {
         let idx = self.site_idx(site);
         self.sites[idx].up = true;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Grid, "site_recover").with("site", self.site_name(site))
+        });
         let mut out = self.try_match(now);
         if let Some(mtbf) = &self.sites[idx].config.outage_mtbf {
             let next = mtbf.sample(&mut self.rng);

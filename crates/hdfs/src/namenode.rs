@@ -22,6 +22,7 @@ use crate::datanode::{DatanodeInfo, DnLiveness};
 use crate::placement::{Candidate, PlacementPolicy};
 use crate::types::{BlockId, BlockMeta, FileId, FileMeta};
 use hog_net::{NodeId, Topology};
+use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::metrics::Counter;
 use hog_sim_core::{SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -65,6 +66,7 @@ pub struct Namenode {
     repl_failed: Counter,
     blocks_lost: Counter,
     bad_replica_reports: Counter,
+    tracer: Tracer,
 }
 
 impl Namenode {
@@ -84,7 +86,13 @@ impl Namenode {
             repl_failed: Counter::new(),
             blocks_lost: Counter::new(),
             bad_replica_reports: Counter::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the shared trace handle (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -135,6 +143,8 @@ impl Namenode {
 
     /// A new datanode reported in (worker started).
     pub fn register_datanode(&mut self, now: SimTime, node: NodeId) {
+        self.tracer
+            .emit(|| TraceEvent::new(Layer::Hdfs, "dn_register").with("node", node.0));
         self.datanodes
             .insert(node, DatanodeInfo::new(self.cfg.datanode_capacity, now));
     }
@@ -146,6 +156,8 @@ impl Namenode {
             if dn.liveness == DnLiveness::Live {
                 dn.liveness = DnLiveness::Silent;
                 dn.last_heartbeat = now;
+                self.tracer
+                    .emit(|| TraceEvent::new(Layer::Hdfs, "dn_silent").with("node", node.0));
             }
         }
     }
@@ -155,6 +167,8 @@ impl Namenode {
     pub fn mark_storage_failed(&mut self, node: NodeId) {
         if let Some(dn) = self.datanodes.get_mut(&node) {
             dn.storage_failed = true;
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Hdfs, "storage_failed").with("node", node.0));
         }
     }
 
@@ -181,10 +195,21 @@ impl Namenode {
             .collect();
         for node in overdue {
             self.declare_dead(node);
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Hdfs, "dn_dead").with("node", node.0));
             out.newly_dead.push(node);
         }
         // 2. Replication monitor.
         out.orders = self.dispatch_replication(topo);
+        for o in &out.orders {
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::Hdfs, "repl_order")
+                    .with("block", o.block.0)
+                    .with("src", o.src.0)
+                    .with("dst", o.dst.0)
+                    .with("bytes", o.bytes)
+            });
+        }
         out
     }
 
@@ -329,6 +354,12 @@ impl Namenode {
         if meta.is_missing() {
             self.blocks_lost.incr();
         }
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "block_commit")
+                .with("block", block.0)
+                .with("replicas", meta.replicas.len())
+                .with("deficit", meta.deficit())
+        });
         if meta.deficit() > 0 {
             self.needs_repl.insert(block);
         }
@@ -422,6 +453,11 @@ impl Namenode {
     /// invalidate it and queue re-replication.
     pub fn report_bad_replica(&mut self, block: BlockId, node: NodeId) {
         self.bad_replica_reports.incr();
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "bad_replica")
+                .with("block", block.0)
+                .with("node", node.0)
+        });
         let size = self.blocks[block.0 as usize].size;
         if self.blocks[block.0 as usize].replicas.remove(&node) {
             if let Some(dn) = self.datanodes.get_mut(&node) {
@@ -538,6 +574,13 @@ impl Namenode {
 
     /// A replication transfer finished (or failed / was killed).
     pub fn repl_done(&mut self, block: BlockId, src: NodeId, dst: NodeId, success: bool) {
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "repl_done")
+                .with("block", block.0)
+                .with("src", src.0)
+                .with("dst", dst.0)
+                .with("ok", success)
+        });
         if let Some(dn) = self.datanodes.get_mut(&src) {
             dn.repl_streams = dn.repl_streams.saturating_sub(1);
         }
@@ -644,6 +687,8 @@ impl Namenode {
             if dn.liveness == DnLiveness::Silent {
                 dn.liveness = DnLiveness::Live;
                 dn.last_heartbeat = now;
+                self.tracer
+                    .emit(|| TraceEvent::new(Layer::Hdfs, "dn_revived").with("node", node.0));
             }
         }
     }

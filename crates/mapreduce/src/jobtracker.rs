@@ -10,6 +10,7 @@ use crate::tracker::{TrackerLiveness, TrackerState};
 use crate::AttemptRef;
 use hog_hdfs::BlockId;
 use hog_net::{NodeId, SiteId, Topology};
+use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::metrics::Counter;
 use hog_sim_core::{SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -166,6 +167,28 @@ pub struct JobTracker {
     rng: SimRng,
     counters: JtCounters,
     _spec_counter: Counter,
+    tracer: Tracer,
+}
+
+impl TaskKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
+impl FailReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            FailReason::NodeLost => "node_lost",
+            FailReason::DiskFull => "disk_full",
+            FailReason::LostBlock => "lost_block",
+            FailReason::ZombieNode => "zombie_node",
+            FailReason::FetchFailed => "fetch_failed",
+        }
+    }
 }
 
 impl JobTracker {
@@ -181,7 +204,13 @@ impl JobTracker {
             rng,
             counters: JtCounters::default(),
             _spec_counter: Counter::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the shared trace handle (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -256,6 +285,13 @@ impl JobTracker {
             return notes;
         };
         t.liveness = TrackerLiveness::Dead;
+        let aborted = t.running.len();
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "tracker_dead")
+                .with("node", node.0)
+                .with("aborted_attempts", aborted)
+        });
+        let t = self.trackers.get_mut(&node).unwrap();
         let running: Vec<AttemptRef> = t.running.iter().copied().collect();
         t.running.clear();
         t.scratch_used = 0;
@@ -315,6 +351,13 @@ impl JobTracker {
         self.locality.push(LocalityIndex { by_node, by_site });
         self.jobs.push(JobState::new(spec, now));
         self.fifo.push(id);
+        self.tracer.emit(|| {
+            let spec = &self.jobs[id.0 as usize].spec;
+            TraceEvent::new(Layer::MapReduce, "job_submit")
+                .with("job", id.0)
+                .with("maps", spec.maps())
+                .with("reduces", spec.reduces as u64)
+        });
         id
     }
 
@@ -390,6 +433,14 @@ impl JobTracker {
         });
         let att = AttemptRef { task, attempt };
         self.trackers.get_mut(&node).unwrap().running.insert(att);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "attempt_start")
+                .with("job", task.job.0)
+                .with("kind", task.kind.as_str())
+                .with("task", task.index)
+                .with("attempt", attempt as u64)
+                .with("node", node.0)
+        });
         att
     }
 
@@ -587,6 +638,13 @@ impl JobTracker {
                 continue;
             };
             self.counters.speculative += 1;
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::MapReduce, "speculate")
+                    .with("job", jid.0)
+                    .with("kind", kind.as_str())
+                    .with("task", index)
+                    .with("node", node.0)
+            });
             let task = TaskRef {
                 job: jid,
                 kind,
@@ -656,7 +714,7 @@ impl JobTracker {
             return out;
         }
         let jid = att.task.job;
-        let node = {
+        let (node, dur) = {
             let job = &mut self.jobs[jid.0 as usize];
             let ts = job.task_mut(att.task);
             let a = &mut ts.attempts[att.attempt as usize];
@@ -668,8 +726,17 @@ impl JobTracker {
             job.maps_done += 1;
             job.map_duration_stats.0 += dur;
             job.map_duration_stats.1 += 1;
-            node
+            (node, dur)
         };
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "task_done")
+                .with("job", jid.0)
+                .with("kind", "map")
+                .with("task", att.task.index)
+                .with("attempt", att.attempt as u64)
+                .with("node", node.0)
+                .with("secs", dur)
+        });
         self.trackers.get_mut(&node).map(|t| t.running.remove(&att));
         out.notes.extend(self.kill_siblings(att));
         // Announce the new output to running reduce attempts.
@@ -702,6 +769,11 @@ impl JobTracker {
         job.status = JobStatus::Succeeded;
         job.finished = Some(now);
         self.counters.jobs_completed += 1;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "job_done")
+                .with("job", jid.0)
+                .with("ok", true)
+        });
         self.retire_job(jid);
         vec![JtNote::JobCompleted { job: jid }]
     }
@@ -756,7 +828,15 @@ impl JobTracker {
             let job = &mut self.jobs[att.task.job.0 as usize];
             *job.tracker_failures.entry(node).or_insert(0) += 1;
         }
-        let _ = reason;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "attempt_fail")
+                .with("job", att.task.job.0)
+                .with("kind", att.task.kind.as_str())
+                .with("task", att.task.index)
+                .with("attempt", att.attempt as u64)
+                .with("node", node.0)
+                .with("reason", reason.as_str())
+        });
         self.abort_attempt(now, att, node, true)
     }
 
@@ -827,6 +907,11 @@ impl JobTracker {
     fn fail_job(&mut self, jid: JobId) -> Vec<JtNote> {
         let mut notes = Vec::new();
         self.counters.jobs_failed += 1;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "job_done")
+                .with("job", jid.0)
+                .with("ok", false)
+        });
         let job = &mut self.jobs[jid.0 as usize];
         job.status = JobStatus::Failed;
         job.finished = None;
@@ -916,6 +1001,13 @@ impl JobTracker {
     pub fn fetch_done(&mut self, att: AttemptRef, order: u64) {
         if let Some(plan) = self.jobs[att.task.job.0 as usize].reduce_plans.get_mut(&att) {
             plan.fetch_done(order);
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::MapReduce, "fetch_done")
+                    .with("job", att.task.job.0)
+                    .with("task", att.task.index)
+                    .with("attempt", att.attempt as u64)
+                    .with("order", order)
+            });
         }
     }
 
@@ -967,6 +1059,15 @@ impl JobTracker {
                 plan.map_lost(*m);
             }
         }
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "fetch_fail")
+                .with("job", jid.0)
+                .with("task", att.task.index)
+                .with("attempt", att.attempt as u64)
+                .with("order", order)
+                .with("struck_maps", failed_maps.len())
+                .with("reexecuted", reexecute.len())
+        });
         // Re-announce maps whose outputs still exist (and were not just
         // declared lost).
         if let Some(plan) = job.reduce_plans.get_mut(&att) {
@@ -984,7 +1085,7 @@ impl JobTracker {
             return Vec::new();
         }
         let jid = att.task.job;
-        let node = {
+        let (node, dur) = {
             let job = &mut self.jobs[jid.0 as usize];
             let ts = job.task_mut(att.task);
             let a = &mut ts.attempts[att.attempt as usize];
@@ -996,8 +1097,17 @@ impl JobTracker {
             job.reduces_done += 1;
             job.reduce_duration_stats.0 += dur;
             job.reduce_duration_stats.1 += 1;
-            node
+            (node, dur)
         };
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "task_done")
+                .with("job", jid.0)
+                .with("kind", "reduce")
+                .with("task", att.task.index)
+                .with("attempt", att.attempt as u64)
+                .with("node", node.0)
+                .with("secs", dur)
+        });
         if let Some(t) = self.trackers.get_mut(&node) {
             t.running.remove(&att);
         }
@@ -1016,6 +1126,11 @@ impl JobTracker {
             job.status = JobStatus::Succeeded;
             job.finished = Some(now);
             self.counters.jobs_completed += 1;
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::MapReduce, "job_done")
+                    .with("job", jid.0)
+                    .with("ok", true)
+            });
             self.retire_job(jid);
             return vec![JtNote::JobCompleted { job: jid }];
         }

@@ -102,7 +102,7 @@ impl World {
     }
 
     fn tick(&mut self) {
-        self.now = self.now + SimDuration::from_secs(3);
+        self.now += SimDuration::from_secs(3);
     }
 
     fn heartbeat_all(&mut self) {
@@ -230,7 +230,7 @@ proptest! {
                     }
                 }
             }
-            w.now = w.now + SimDuration::from_secs(40); // past dead timeout
+            w.now += SimDuration::from_secs(40); // past dead timeout
             w.jt.check_dead(w.now);
             w.check_invariants();
         }
@@ -241,7 +241,7 @@ proptest! {
                 break;
             }
             w.tick();
-            w.now = w.now + SimDuration::from_secs(5);
+            w.now += SimDuration::from_secs(5);
             w.heartbeat_all();
             let maps: Vec<AttemptRef> = w
                 .running

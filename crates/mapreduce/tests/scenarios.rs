@@ -64,7 +64,7 @@ impl Mini {
         let mut notes = Vec::new();
         let mut reduce_attempts: Vec<AttemptRef> = Vec::new();
         for _round in 0..200 {
-            now = now + SimDuration::from_secs(3);
+            now += SimDuration::from_secs(3);
             let assignments = self.heartbeat_all(now);
             let mut done_any = !assignments.is_empty();
             for a in assignments {
@@ -208,14 +208,9 @@ fn slowstart_gates_reduces() {
     // All four map slots busy; no reduce yet (0% maps done).
     assert!(assignments.iter().all(|a| matches!(a, Assignment::Map { .. })));
     // Finish 2 maps (50%): reduces may start.
-    let mut done = 0;
-    for a in &assignments {
-        if done == 2 {
-            break;
-        }
+    for a in assignments.iter().take(2) {
         let att = a.attempt();
         m.jt.map_done(SimTime::from_secs(10), att, &m.topo);
-        done += 1;
     }
     let more = m.heartbeat_all(SimTime::from_secs(12));
     assert!(

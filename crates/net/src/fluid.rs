@@ -22,6 +22,7 @@
 use crate::params::NetParams;
 use crate::topology::{NodeId, SiteId};
 use crate::{FlowEnd, FlowId, FlowOutcome, Network};
+use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -59,6 +60,7 @@ pub struct FluidNet {
     /// WAN degradation multiplier applied to site up/downlink capacity
     /// (1.0 = healthy; chaos fault injection lowers it temporarily).
     wan_factor: f64,
+    tracer: Tracer,
 }
 
 /// Completion threshold: a flow with fewer than this many bytes left is
@@ -77,7 +79,13 @@ impl FluidNet {
             next_flow_id: 0,
             recomputes: 0,
             wan_factor: 1.0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the shared trace handle (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The parameters in use.
@@ -112,6 +120,9 @@ impl FluidNet {
     pub fn set_wan_factor(&mut self, now: SimTime, factor: f64) {
         self.progress_to(now);
         self.wan_factor = factor.max(1e-3);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Net, "wan_factor").with("factor", self.wan_factor)
+        });
         self.recompute_rates();
     }
 
@@ -165,6 +176,14 @@ impl FluidNet {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         let path = self.path_for(src, dst, diffuse_src);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Net, "flow_start")
+                .with("flow", id.0)
+                .with("src", src.0)
+                .with("dst", dst.0)
+                .with("bytes", bytes)
+                .with("wan", self.sites_of[&src] != self.sites_of[&dst])
+        });
         self.flows.push(Flow {
             id,
             tag,
@@ -194,6 +213,11 @@ impl FluidNet {
         while i < self.flows.len() {
             if self.flows[i].remaining < DONE_EPS {
                 let f = self.flows.swap_remove(i);
+                self.tracer.emit(|| {
+                    TraceEvent::new(Layer::Net, "flow_end")
+                        .with("flow", f.id.0)
+                        .with("outcome", "completed")
+                });
                 self.finished.push(FlowEnd {
                     id: f.id,
                     tag: f.tag,
@@ -387,6 +411,12 @@ impl Network for FluidNet {
         while i < self.flows.len() {
             if self.flows[i].src == node || self.flows[i].dst == node {
                 let f = self.flows.swap_remove(i);
+                self.tracer.emit(|| {
+                    TraceEvent::new(Layer::Net, "flow_end")
+                        .with("flow", f.id.0)
+                        .with("outcome", "killed")
+                        .with("node", node.0)
+                });
                 killed.push(FlowEnd {
                     id: f.id,
                     tag: f.tag,
@@ -693,11 +723,10 @@ mod tests {
             // Reconstruct link loads from the flow table.
             let mut loads: std::collections::HashMap<String, f64> = Default::default();
             let p = *net.params();
-            for i in 0..specs.len() {
+            for (i, &(s, d, _)) in specs.iter().enumerate() {
                 let id = FlowId(i as u64);
                 if let Some(r) = net.rate_of(id) {
                     prop_assert!(r > 0.0, "flow {i} starved");
-                    let (s, d, _) = specs[i];
                     if s == d { continue; }
                     *loads.entry(format!("up{s}")).or_default() += r;
                     *loads.entry(format!("down{d}")).or_default() += r;

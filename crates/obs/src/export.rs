@@ -1,0 +1,216 @@
+//! Deterministic exporters for trace streams: JSONL, CSV, and the
+//! human-readable flight-recorder tail appended to chaos failure dumps.
+//!
+//! Everything here is pure string formatting over already-recorded events,
+//! so two runs with identical event streams produce byte-identical output.
+
+use crate::trace::{FieldValue, TraceEvent};
+use std::fmt::Write as _;
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_value(v: &FieldValue, out: &mut String) {
+    match v {
+        FieldValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        // JSON has no NaN/Inf literal; encode as a string.
+        FieldValue::F64(x) => {
+            out.push('"');
+            let _ = write!(out, "{x}");
+            out.push('"');
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            json_escape(s, out);
+            out.push('"');
+        }
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Render events as JSON Lines, one object per event:
+/// `{"t_ms":…,"seq":…,"layer":"…","kind":"…","fields":{…}}`.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"t_ms\":{},\"seq\":{},\"layer\":\"{}\",\"kind\":\"{}\",\"fields\":{{",
+            ev.time.as_millis(),
+            ev.seq,
+            ev.layer,
+            ev.kind
+        );
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(k, &mut out);
+            out.push_str("\":");
+            json_value(v, &mut out);
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+fn csv_quote(s: &str, out: &mut String) {
+    if s.contains([',', '"', '\n']) {
+        out.push('"');
+        out.push_str(&s.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Render events as CSV with columns `t_ms,seq,layer,kind,fields` where
+/// `fields` is a `key=value;key=value` list.
+pub fn to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64 + 32);
+    out.push_str("t_ms,seq,layer,kind,fields\n");
+    let mut packed = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "{},{},{},{},",
+            ev.time.as_millis(),
+            ev.seq,
+            ev.layer,
+            ev.kind
+        );
+        packed.clear();
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                packed.push(';');
+            }
+            let _ = write!(packed, "{k}={v}");
+        }
+        csv_quote(&packed, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a flight-recorder tail for inclusion in a chaos failure dump.
+/// `recorded`/`dropped` are the recorder's lifetime totals.
+pub fn render_tail(events: &[TraceEvent], recorded: u64, dropped: u64) -> String {
+    let mut out = format!(
+        "flight recorder (last {} of {} events, {} evicted):\n",
+        events.len(),
+        recorded,
+        dropped
+    );
+    if events.is_empty() {
+        out.push_str("  (no events recorded)\n");
+        return out;
+    }
+    for ev in events {
+        let _ = writeln!(out, "  {ev}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Layer, TraceMode, Tracer};
+    use hog_sim_core::SimTime;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = Tracer::new(TraceMode::Full);
+        t.advance(SimTime::from_millis(1500));
+        t.emit(|| {
+            TraceEvent::new(Layer::Net, "flow_start")
+                .with("flow", 3u64)
+                .with("rate", 0.5f64)
+                .with("diffuse", true)
+        });
+        t.emit(|| TraceEvent::new(Layer::Grid, "node_lost").with("reason", "preempted, sadly"));
+        t.retained()
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let out = to_jsonl(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_ms\":1500,\"seq\":0,\"layer\":\"net\",\"kind\":\"flow_start\",\
+             \"fields\":{\"flow\":3,\"rate\":0.5,\"diffuse\":true}}"
+        );
+        assert!(lines[1].contains("\"reason\":\"preempted, sadly\""));
+    }
+
+    #[test]
+    fn jsonl_escapes_control_and_quote() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn jsonl_nonfinite_floats_become_strings() {
+        let ev = TraceEvent::new(Layer::Core, "x").with("v", f64::NAN);
+        let out = to_jsonl(&[ev]);
+        assert!(out.contains("\"v\":\"NaN\""), "{out}");
+    }
+
+    #[test]
+    fn csv_header_and_field_quoting() {
+        let out = to_csv(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "t_ms,seq,layer,kind,fields");
+        assert_eq!(
+            lines[1],
+            "1500,0,net,flow_start,flow=3;rate=0.5;diffuse=true"
+        );
+        // Field value containing a comma gets quoted.
+        assert_eq!(
+            lines[2],
+            "1500,1,grid,node_lost,\"reason=preempted, sadly\""
+        );
+    }
+
+    #[test]
+    fn tail_rendering() {
+        let events = sample_events();
+        let out = render_tail(&events, 10, 8);
+        assert!(out.starts_with("flight recorder (last 2 of 10 events, 8 evicted):"));
+        assert!(out.contains("flow_start"));
+        let empty = render_tail(&[], 0, 0);
+        assert!(empty.contains("no events recorded"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = to_jsonl(&sample_events());
+        let b = to_jsonl(&sample_events());
+        assert_eq!(a, b);
+    }
+}

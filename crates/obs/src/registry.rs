@@ -1,0 +1,334 @@
+//! Per-layer metrics registry: named gauges/counters backed by
+//! [`StepSeries`] (snapshotted once per master tick) plus fixed-bucket
+//! histograms, and a metric-by-metric diff between two runs.
+
+use crate::trace::Layer;
+use hog_sim_core::{Histogram, SimTime, StepSeries};
+use std::fmt::Write as _;
+
+/// Handle to a registered series-backed metric (gauge or counter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Clone, Debug)]
+struct SeriesMetric {
+    layer: Layer,
+    name: &'static str,
+    current: f64,
+    series: StepSeries,
+}
+
+#[derive(Clone, Debug)]
+struct HistMetric {
+    layer: Layer,
+    name: &'static str,
+    hist: Histogram,
+}
+
+/// Named metrics registered per layer. Series-backed metrics hold a live
+/// `current` value updated by `set`/`add` and are sampled into their
+/// [`StepSeries`] by `snapshot` (the cluster calls it once per master
+/// tick); histograms record observations immediately.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    series: Vec<SeriesMetric>,
+    hists: Vec<HistMetric>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register a series-backed metric. Names are `snake_case` and unique
+    /// within a layer by convention (not enforced).
+    pub fn register(&mut self, layer: Layer, name: &'static str) -> MetricId {
+        self.series.push(SeriesMetric {
+            layer,
+            name,
+            current: 0.0,
+            series: StepSeries::new(),
+        });
+        MetricId(self.series.len() - 1)
+    }
+
+    /// Register a histogram with the given ascending bucket edges.
+    pub fn register_histogram(
+        &mut self,
+        layer: Layer,
+        name: &'static str,
+        edges: Vec<f64>,
+    ) -> HistogramId {
+        self.hists.push(HistMetric {
+            layer,
+            name,
+            hist: Histogram::with_edges(edges),
+        });
+        HistogramId(self.hists.len() - 1)
+    }
+
+    /// Set the current value of a series metric (gauge-style).
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        self.series[id.0].current = v;
+    }
+
+    /// Add to the current value of a series metric (counter-style).
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: f64) {
+        self.series[id.0].current += delta;
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        self.hists[id.0].hist.record(x);
+    }
+
+    /// Sample every series metric's current value at time `t`. Out-of-order
+    /// samples are clamped by [`StepSeries::record`].
+    pub fn snapshot(&mut self, t: SimTime) {
+        for m in &mut self.series {
+            m.series.record(t, m.current);
+        }
+    }
+
+    /// Full `layer/name` of a series metric.
+    pub fn name(&self, id: MetricId) -> String {
+        let m = &self.series[id.0];
+        format!("{}/{}", m.layer, m.name)
+    }
+
+    /// The recorded series behind a metric.
+    pub fn series(&self, id: MetricId) -> &StepSeries {
+        &self.series[id.0].series
+    }
+
+    /// Look up a series by its full `layer/name`.
+    pub fn find(&self, full_name: &str) -> Option<&StepSeries> {
+        self.iter_series()
+            .find(|(n, _)| n == full_name)
+            .map(|(_, s)| s)
+    }
+
+    /// Iterate `(full_name, series)` in registration order.
+    pub fn iter_series(&self) -> impl Iterator<Item = (String, &StepSeries)> {
+        self.series
+            .iter()
+            .map(|m| (format!("{}/{}", m.layer, m.name), &m.series))
+    }
+
+    /// Iterate `(full_name, histogram)` in registration order.
+    pub fn iter_histograms(&self) -> impl Iterator<Item = (String, &Histogram)> {
+        self.hists
+            .iter()
+            .map(|m| (format!("{}/{}", m.layer, m.name), &m.hist))
+    }
+
+    /// Number of registered series metrics.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render a fixed-width table of every series metric: samples, mean
+    /// over the recorded window, and final value.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>14} {:>14}",
+            "metric", "samples", "mean", "last"
+        );
+        for (name, s) in self.iter_series() {
+            let mean = series_mean(s);
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>14.3} {:>14.3}",
+                name,
+                s.len(),
+                mean,
+                s.last_value()
+            );
+        }
+        for (name, h) in self.iter_histograms() {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>14} {:>14}",
+                name,
+                h.total(),
+                format!(
+                    "p50={}",
+                    h.quantile(0.5).map_or("-".into(), |q| format!("{q:.1}"))
+                ),
+                format!("overflow={}", h.overflow())
+            );
+        }
+        out
+    }
+}
+
+/// Time-weighted mean of a series over its own recorded window (0.0 when
+/// fewer than one sample spans any time).
+fn series_mean(s: &StepSeries) -> f64 {
+    match (s.points().first(), s.points().last()) {
+        (Some(&(t0, _)), Some(&(t1, _))) if t1 > t0 => s.mean_over(t0, t1),
+        (Some(&(_, v)), _) => v,
+        _ => 0.0,
+    }
+}
+
+/// One series compared between two runs, scored by relative mean
+/// divergence.
+#[derive(Clone, Debug)]
+pub struct SeriesDivergence {
+    /// Full `layer/name` of the metric.
+    pub name: String,
+    /// `|mean_a − mean_b| / (max(|mean_a|, |mean_b|) + ε)` — 0 for
+    /// identical means, → 1 for fully divergent ones.
+    pub score: f64,
+    /// Time-weighted mean in run A (0.0 when absent).
+    pub mean_a: f64,
+    /// Time-weighted mean in run B (0.0 when absent).
+    pub mean_b: f64,
+    /// Final value in run A.
+    pub last_a: f64,
+    /// Final value in run B.
+    pub last_b: f64,
+}
+
+/// Compare two registries metric-by-metric over the union of their series
+/// names, most divergent first (ties break by name for determinism).
+pub fn diff_registries(a: &MetricsRegistry, b: &MetricsRegistry) -> Vec<SeriesDivergence> {
+    let mut names: Vec<String> = a.iter_series().map(|(n, _)| n).collect();
+    for (n, _) in b.iter_series() {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    let empty = StepSeries::new();
+    let mut out: Vec<SeriesDivergence> = names
+        .into_iter()
+        .map(|name| {
+            let sa = a.find(&name).unwrap_or(&empty);
+            let sb = b.find(&name).unwrap_or(&empty);
+            let (mean_a, mean_b) = (series_mean(sa), series_mean(sb));
+            let denom = mean_a.abs().max(mean_b.abs()) + 1e-9;
+            SeriesDivergence {
+                score: (mean_a - mean_b).abs() / denom,
+                mean_a,
+                mean_b,
+                last_a: sa.last_value(),
+                last_b: sb.last_value(),
+                name,
+            }
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.name.cmp(&y.name))
+    });
+    out
+}
+
+/// Render the top `top` diverging series as a fixed-width table.
+pub fn render_diff(diffs: &[SeriesDivergence], top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<36} {:>9} {:>13} {:>13} {:>12} {:>12}",
+        "metric", "score", "mean A", "mean B", "last A", "last B"
+    );
+    for d in diffs.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>9.4} {:>13.3} {:>13.3} {:>12.3} {:>12.3}",
+            d.name, d.score, d.mean_a, d.mean_b, d.last_a, d.last_b
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(scale: f64) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        let g = r.register(Layer::Core, "pool_usable");
+        let c = r.register(Layer::Hdfs, "repl_completed");
+        for i in 0..5u64 {
+            r.set(g, scale * i as f64);
+            r.add(c, 1.0);
+            r.snapshot(SimTime::from_secs(i * 30));
+        }
+        r
+    }
+
+    #[test]
+    fn register_set_snapshot_roundtrip() {
+        let r = filled(1.0);
+        let s = r.find("core/pool_usable").expect("registered");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.last_value(), 4.0);
+        let c = r.find("hdfs/repl_completed").expect("registered");
+        assert_eq!(c.last_value(), 5.0);
+        assert!(r.find("net/nope").is_none());
+    }
+
+    #[test]
+    fn histogram_metrics_record_immediately() {
+        let mut r = MetricsRegistry::new();
+        let h = r.register_histogram(Layer::MapReduce, "job_secs", vec![0.0, 60.0, 600.0]);
+        r.observe(h, 30.0);
+        r.observe(h, 10_000.0);
+        let (name, hist) = r.iter_histograms().next().unwrap();
+        assert_eq!(name, "mapreduce/job_secs");
+        assert_eq!(hist.total(), 2);
+        assert_eq!(hist.overflow(), 1);
+    }
+
+    #[test]
+    fn diff_ranks_divergent_series_first() {
+        let a = filled(1.0);
+        let b = filled(3.0); // pool_usable diverges, repl_completed identical
+        let diffs = diff_registries(&a, &b);
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].name, "core/pool_usable");
+        assert!(diffs[0].score > 0.5, "score={}", diffs[0].score);
+        assert!(diffs[1].score < 1e-6);
+    }
+
+    #[test]
+    fn diff_handles_disjoint_registries() {
+        let a = filled(1.0);
+        let mut b = MetricsRegistry::new();
+        let only_b = b.register(Layer::Net, "active_flows");
+        b.set(only_b, 2.0);
+        b.snapshot(SimTime::from_secs(10));
+        let diffs = diff_registries(&a, &b);
+        assert_eq!(diffs.len(), 3);
+        let flows = diffs.iter().find(|d| d.name == "net/active_flows").unwrap();
+        assert_eq!(flows.mean_a, 0.0);
+        assert!(flows.score > 0.9);
+    }
+
+    #[test]
+    fn render_does_not_panic_on_empty() {
+        let r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        let _ = r.render_summary();
+        let _ = render_diff(&diff_registries(&r, &r), 10);
+    }
+}

@@ -40,7 +40,7 @@ pub mod units;
 pub use audit::{Auditable, Violation};
 pub use dist::{Exponential, LogNormal, UniformDuration};
 pub use engine::{Model, Simulation};
-pub use metrics::{Counter, Histogram, StepSeries, Summary};
+pub use metrics::{Counter, Histogram, StepSeries, Summary, TimeRegression};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

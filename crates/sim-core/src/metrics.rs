@@ -21,18 +21,39 @@ impl StepSeries {
 
     /// Record the value `v` taking effect at time `t`.
     ///
-    /// Panics in debug builds if `t` precedes the previous sample. Equal
-    /// timestamps overwrite (last-writer-wins) so a burst of changes at one
-    /// instant collapses to its final value.
+    /// Equal timestamps overwrite (last-writer-wins) so a burst of changes
+    /// at one instant collapses to its final value. A regressed timestamp
+    /// is clamped to the previous sample's time — the series stays a valid
+    /// step function rather than silently going out of order; callers that
+    /// need to detect regressions use [`StepSeries::try_record`].
     pub fn record(&mut self, t: SimTime, v: f64) {
+        match self.try_record(t, v) {
+            Ok(()) => {}
+            Err(e) => {
+                let _ = self.try_record(e.last, v);
+            }
+        }
+    }
+
+    /// Record the value `v` at time `t`, rejecting out-of-order samples.
+    ///
+    /// Returns [`TimeRegression`] (and records nothing) when `t` precedes
+    /// the previous sample's timestamp.
+    pub fn try_record(&mut self, t: SimTime, v: f64) -> Result<(), TimeRegression> {
         if let Some(last) = self.points.last_mut() {
-            debug_assert!(t >= last.0, "StepSeries samples must be time-ordered");
+            if t < last.0 {
+                return Err(TimeRegression {
+                    last: last.0,
+                    attempted: t,
+                });
+            }
             if last.0 == t {
                 last.1 = v;
-                return;
+                return Ok(());
             }
         }
         self.points.push((t, v));
+        Ok(())
     }
 
     /// The value of the step function at time `t` (0.0 before the first
@@ -130,6 +151,28 @@ impl StepSeries {
             .collect()
     }
 }
+
+/// A sample offered to [`StepSeries::try_record`] with a timestamp earlier
+/// than the previous sample's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeRegression {
+    /// Timestamp of the most recent accepted sample.
+    pub last: SimTime,
+    /// The (earlier) timestamp that was rejected.
+    pub attempted: SimTime,
+}
+
+impl fmt::Display for TimeRegression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sample at {:?} precedes previous sample at {:?}",
+            self.attempted, self.last
+        )
+    }
+}
+
+impl std::error::Error for TimeRegression {}
 
 /// A monotonically increasing event counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -316,6 +359,34 @@ impl Histogram {
     pub fn edges(&self) -> &[f64] {
         &self.edges
     }
+
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`) assuming uniform mass
+    /// within each bucket. Returns `None` when the histogram is empty or
+    /// `q` lies outside `[0, 1]`. Mass in the overflow bucket resolves to
+    /// the final edge (the histogram does not know how far above it the
+    /// observations fell).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = q * total as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let c = c as f64;
+            if c > 0.0 && acc + c >= target {
+                let lo = self.edges[i];
+                let hi = self.edges[i + 1];
+                let frac = ((target - acc) / c).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            acc += c;
+        }
+        self.edges.last().copied()
+    }
 }
 
 #[cfg(test)]
@@ -441,5 +512,78 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_bad_edges() {
         let _ = Histogram::with_edges(vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn try_record_rejects_regression_without_recording() {
+        let mut s = StepSeries::new();
+        s.try_record(SimTime::from_secs(10), 1.0).unwrap();
+        let err = s.try_record(SimTime::from_secs(5), 9.0).unwrap_err();
+        assert_eq!(err.last, SimTime::from_secs(10));
+        assert_eq!(err.attempted, SimTime::from_secs(5));
+        assert!(err.to_string().contains("precedes"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last_value(), 1.0);
+    }
+
+    #[test]
+    fn record_clamps_regressed_samples_to_last_timestamp() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(10), 1.0);
+        s.record(SimTime::from_secs(5), 9.0); // regression: clamps to t=10
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.points(), &[(SimTime::from_secs(10), 9.0)]);
+        // The series is still a valid step function and keeps accepting.
+        s.record(SimTime::from_secs(20), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_at(SimTime::from_secs(15)), 9.0);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let mut h = Histogram::with_edges(vec![0.0, 10.0, 20.0]);
+        for _ in 0..4 {
+            h.record(5.0); // bucket [0, 10)
+        }
+        for _ in 0..4 {
+            h.record(15.0); // bucket [10, 20)
+        }
+        assert!((h.quantile(0.5).unwrap() - 10.0).abs() < 1e-9);
+        assert!((h.quantile(0.25).unwrap() - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        // q=0 resolves to the start of the first occupied bucket.
+        assert!((h.quantile(0.0).unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        let empty = Histogram::with_edges(vec![0.0, 1.0]);
+        assert_eq!(empty.quantile(0.5), None);
+
+        let mut h = Histogram::with_edges(vec![0.0, 10.0]);
+        h.record(3.0);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Single sample: every quantile lies within its bucket.
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((0.0..=10.0).contains(&v), "q={q} v={v}");
+        }
+
+        // Overflow-only mass resolves to the final edge.
+        let mut o = Histogram::with_edges(vec![0.0, 10.0]);
+        o.record(99.0);
+        assert_eq!(o.quantile(0.5), Some(10.0));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let mut s = Summary::new();
+        s.record(7.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), Some(7.0));
+        assert_eq!(s.max(), Some(7.0));
     }
 }

@@ -8,8 +8,11 @@
 //!
 //! ```sh
 //! cargo run --release --example chaos_drill
+//! # with a full structured trace exported as JSONL:
+//! HOG_TRACE_JSONL=drill.jsonl cargo run --release --example chaos_drill
 //! ```
 
+use hog_repro::obs::to_jsonl;
 use hog_repro::prelude::*;
 
 fn main() {
@@ -37,13 +40,26 @@ fn main() {
         println!("  T+{:>4}s  {:?}", tf.at.as_millis() / 1000, tf.fault);
     }
 
-    let cfg = ClusterConfig::hog(60, 31)
+    let trace_out = std::env::var("HOG_TRACE_JSONL").ok();
+    let mut cfg = ClusterConfig::hog(60, 31)
         .with_fault_plan(plan)
         .with_audit(true)
         .with_watchdog(SimDuration::from_secs(3600));
+    if trace_out.is_some() {
+        cfg = cfg.with_tracing(TraceMode::Full);
+    }
     let schedule = SubmissionSchedule::facebook_truncated(2026);
     println!("\nrunning 60-node HOG through the incident (auditing every master tick)…");
     let r = run_workload(cfg, &schedule, SimDuration::from_secs(60 * 3600));
+
+    if let (Some(path), Some(log)) = (&trace_out, &r.trace) {
+        std::fs::write(path, to_jsonl(&log.events)).expect("write trace");
+        println!(
+            "trace: {} events ({} layers of the incident, causally ordered) -> {path}",
+            log.recorded,
+            log.events.iter().map(|e| e.layer).collect::<std::collections::BTreeSet<_>>().len()
+        );
+    }
 
     match &r.chaos_failure {
         None => println!("auditor: clean — every cross-layer invariant held"),

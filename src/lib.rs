@@ -14,6 +14,7 @@
 //! | [`mapreduce`] (`hog-mapreduce`) | JobTracker/TaskTrackers, shuffle |
 //! | [`workload`] (`hog-workload`) | Facebook schedule (Tables I & II) |
 //! | [`chaos`] (`hog-chaos`) | fault plans, invariant auditing, livelock watchdog |
+//! | [`obs`] (`hog-obs`) | structured tracing, flight recorder, metrics registry |
 //! | [`core`] (`hog-core`) | the HOG system, baselines, experiments |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use hog_grid as grid;
 pub use hog_hdfs as hdfs;
 pub use hog_mapreduce as mapreduce;
 pub use hog_net as net;
+pub use hog_obs as obs;
 pub use hog_sim_core as sim;
 pub use hog_workload as workload;
 
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use hog_chaos::{ChaosFailure, Fault, FaultPlan};
     pub use hog_core::driver::{run_workload, JobOutcome, RunResult};
     pub use hog_core::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig};
+    pub use hog_obs::{ObsOptions, TraceLog, TraceMode};
     pub use hog_sim_core::{SimDuration, SimTime};
     pub use hog_workload::SubmissionSchedule;
 }

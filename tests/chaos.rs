@@ -118,6 +118,41 @@ fn corrupted_accounting_trips_the_auditor() {
 }
 
 #[test]
+fn auditor_dump_carries_the_flight_recorder_tail() {
+    // Same trip-wire as above, but with the flight recorder armed: the
+    // failure dump must carry the last trace events, and the tail must be
+    // causally consistent — no recorded event may postdate the failure.
+    let horizon = SimDuration::from_secs(24 * 3600);
+    let cfg = ClusterConfig::hog(15, 5)
+        .with_fault_plan(FaultPlan::new().at(
+            SimDuration::from_secs(120),
+            Fault::CorruptAccounting { delta_bytes: 1 << 20 },
+        ))
+        .with_audit(true)
+        .with_flight_recorder(40);
+    let r = run_workload(cfg, &schedule(7), horizon);
+    let failure = r.chaos_failure.as_ref().expect("auditor must trip");
+    let dump = failure.dump();
+    assert!(
+        dump.contains("flight recorder"),
+        "dump must embed the recorder tail: {dump}"
+    );
+    assert!(
+        dump.contains("chaos_inject"),
+        "the injected fault itself is a trace event and belongs in the tail: {dump}"
+    );
+    let log = r.trace.as_ref().expect("ring tracing produces a log");
+    assert!(!log.events.is_empty());
+    let last = log.events.last().unwrap();
+    assert!(
+        last.time <= failure.at(),
+        "last trace event ({:?}) postdates the failure ({:?})",
+        last.time,
+        failure.at()
+    );
+}
+
+#[test]
 fn wedged_cluster_trips_the_watchdog() {
     // A grid whose sites have zero slots can never form a pool: no
     // progress counter ever moves. The watchdog must abort the run after
