@@ -1,0 +1,105 @@
+//! Criterion benches for the two scale-path hot spots this repo's
+//! incremental rework targets (DESIGN.md §10):
+//!
+//! * `fluid_recompute/*` — cost of the waterfilling recompute triggered by
+//!   one flow start while N flows are already in the air. The incremental
+//!   engine only re-waterfills the connected component the new flow
+//!   touches, so cost scales with component size, not N.
+//! * `namenode_tick/*` — one replication-monitor tick with a deep
+//!   under-replication queue. The bucketed queue dispatches without the
+//!   per-tick sort of the whole backlog.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hog_hdfs::placement::SiteAwarePolicy;
+use hog_hdfs::{HdfsConfig, Namenode};
+use hog_net::{FluidNet, NetParams, Network, NodeId, SiteId, Topology};
+use hog_sim_core::{SimRng, SimTime};
+use std::hint::black_box;
+
+/// A fluid net with `flows` active transfers spread over 8 sites × 50
+/// nodes (enough endpoints that NICs are not all shared).
+fn loaded_net(flows: u32) -> FluidNet {
+    let mut net = FluidNet::new(NetParams::grid_default());
+    let nodes = 400u32;
+    for n in 0..nodes {
+        net.register_node(NodeId(n), SiteId((n / 50) as u16));
+    }
+    for i in 0..flows {
+        let src = NodeId(i * 7 % nodes);
+        let dst = NodeId((i * 131 + 11) % nodes);
+        net.start_flow(SimTime::ZERO, src, dst, 256 << 20, i as u64);
+    }
+    net
+}
+
+fn bench_fluid_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_recompute");
+    for &flows in &[10u32, 100, 1000] {
+        let name = format!("start_flow_at_{flows}");
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || loaded_net(flows),
+                |mut net| {
+                    // One start = one incremental recompute of the touched
+                    // component.
+                    net.start_flow(SimTime::ZERO, NodeId(3), NodeId(397), 256 << 20, 1 << 40);
+                    black_box(net.recompute_work())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_namenode_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("namenode_tick");
+    group.sample_size(10);
+    // 10k blocks on 200 datanodes at replication 3; killing 7 nodes puts
+    // ~1k blocks below target, so the measured tick dispatches from a
+    // four-digit priority queue (bounded by max_repl_orders_per_tick).
+    group.bench_function("10k_blocks_1k_under", |b| {
+        b.iter_batched(
+            || {
+                let mut topo = Topology::new();
+                let mut nodes = Vec::new();
+                for s in 0..10 {
+                    let site = topo.add_site(format!("S{s}"), format!("s{s}.edu"));
+                    for _ in 0..20 {
+                        nodes.push(topo.add_node(site));
+                    }
+                }
+                let mut nn = Namenode::new(
+                    HdfsConfig::hog(),
+                    Box::new(SiteAwarePolicy),
+                    SimRng::seed_from_u64(3),
+                );
+                for &n in &nodes {
+                    nn.register_datanode(SimTime::ZERO, n);
+                }
+                let f = nn.create_file_default("/in");
+                for _ in 0..10_000 {
+                    let (blk, t) = nn.allocate_block(f, 8 << 20, None, &topo).unwrap();
+                    nn.commit_block(blk, &t);
+                }
+                for &n in nodes.iter().take(7) {
+                    nn.mark_silent(SimTime::from_secs(1), n);
+                }
+                // Priming tick: declares the silent nodes dead and fills
+                // the under-replication queue.
+                let _ = nn.tick(SimTime::from_secs(3600), &topo);
+                assert!(nn.under_replicated_count() >= 1000);
+                (nn, topo)
+            },
+            |(mut nn, topo)| {
+                let out = nn.tick(SimTime::from_secs(3700), &topo);
+                black_box((out.orders.len(), nn.under_replicated_count()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid_recompute, bench_namenode_tick);
+criterion_main!(benches);

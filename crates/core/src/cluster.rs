@@ -170,6 +170,15 @@ impl ObsMetrics {
     }
 }
 
+/// One deferred entry of the workload/fault dispatch plan (see
+/// `Cluster::dispatch_plan`).
+#[derive(Clone, Copy, Debug)]
+enum PlannedEvent {
+    SubmitJob(usize),
+    Chaos(u32),
+    ChaosEnd(u32),
+}
+
 /// The full-cluster simulation model.
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -234,6 +243,24 @@ pub struct Cluster {
     watchdog: Option<Watchdog>,
     /// Network transfers that ran to completion (progress signal).
     flows_done: u64,
+    /// Fire times with a NetTick already queued. Arming is cheap but the
+    /// naive "push one tick per net mutation" floods the queue with
+    /// duplicates at busy instants (they dominated event count at 1000+
+    /// nodes); a tick at an already-armed instant is a provable no-op, so
+    /// it is skipped. Distinct instants must all stay armed — a stale
+    /// earlier tick is a real progress point.
+    armed_net_ticks: BTreeSet<SimTime>,
+    /// Reusable buffer for `Network::advance_into` (NetTick hot path).
+    flow_end_buf: Vec<FlowEnd>,
+    /// Deferred schedule/fault-plan dispatch: instead of flooding the
+    /// event queue with every SubmitJob/Chaos/ChaosEnd at workload start,
+    /// the plan is kept here sorted by firing order and fed to the queue
+    /// one entry at a time (each fired entry schedules the next). The
+    /// queue sequence numbers each entry *would* have received were
+    /// reserved up front, so heap ordering — and therefore the simulated
+    /// outcome — is bit-identical to eager dispatch.
+    dispatch_plan: Vec<(SimTime, u64, PlannedEvent)>,
+    dispatch_cursor: usize,
     /// Set when the chaos layer aborted the run.
     chaos_failure: Option<ChaosFailure>,
     /// Shared trace handle (hog-obs); a no-op unless configured.
@@ -307,8 +334,7 @@ impl Cluster {
             workload_end: None,
             counters: ClusterCounters::default(),
             target_nodes,
-            adaptive: cfg2
-                .map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
+            adaptive: cfg2.map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
             adaptive_changes: Vec::new(),
             slots_of: HashMap::new(),
             partitioned: BTreeSet::new(),
@@ -321,6 +347,10 @@ impl Cluster {
             auditor: chaos_audit.then(Auditor::new),
             watchdog: chaos_watchdog.map(Watchdog::new),
             flows_done: 0,
+            armed_net_ticks: BTreeSet::new(),
+            flow_end_buf: Vec::new(),
+            dispatch_plan: Vec::new(),
+            dispatch_cursor: 0,
             chaos_failure: None,
             tracer,
             obs_metrics,
@@ -464,6 +494,11 @@ impl Cluster {
         self.grid.as_ref()
     }
 
+    /// Network access (reports).
+    pub fn network(&self) -> &FluidNet {
+        &self.net
+    }
+
     /// Count of *input* blocks currently missing (diagnostics: these are
     /// the ones that fail jobs).
     pub fn missing_input_blocks(&self) -> usize {
@@ -514,7 +549,8 @@ impl Cluster {
                 }
             }
         }
-        if self.upload_queue.is_empty() && self.upload_in_flight == 0
+        if self.upload_queue.is_empty()
+            && self.upload_in_flight == 0
             && self.phase == RunPhase::Uploading
         {
             self.finish_upload(sched);
@@ -542,19 +578,52 @@ impl Cluster {
         });
         let base = sched.now();
         self.workload_start = Some(base + (self.schedule[0].submit_at - SimTime::ZERO));
+        // Build the dispatch plan instead of pushing every event now: the
+        // full Facebook schedule plus fault plan used to sit in the queue
+        // for hours of simulated time, inflating queue depth for nothing.
+        // Sequence numbers are reserved here in exactly the order the
+        // eager loop consumed them, so replaying the plan cursor-style
+        // pops in the identical order.
+        let mut plan: Vec<(SimTime, u64, PlannedEvent)> = Vec::new();
         for (i, spec) in self.schedule.iter().enumerate() {
             let at = base + (spec.submit_at - SimTime::ZERO);
-            sched.at(at, Event::SubmitJob { index: i });
+            plan.push((at, 0, PlannedEvent::SubmitJob(i)));
         }
         // Fault injection is anchored to workload start, like job
         // submission: a plan is meaningful relative to the workload, not
         // to however long pool formation and upload happened to take.
         for (i, tf) in self.cfg.chaos.plan.faults().iter().enumerate() {
             let index = i as u32;
-            sched.at(base + tf.at, Event::Chaos { index });
+            plan.push((base + tf.at, 0, PlannedEvent::Chaos(index)));
             if let Some(w) = tf.fault.window() {
-                sched.at(base + tf.at + w, Event::ChaosEnd { index });
+                plan.push((base + tf.at + w, 0, PlannedEvent::ChaosEnd(index)));
             }
+        }
+        let first = sched.reserve_seqs(plan.len() as u64);
+        for (i, e) in plan.iter_mut().enumerate() {
+            e.1 = first + i as u64;
+        }
+        plan.sort_by_key(|&(at, seq, _)| (at, seq));
+        self.dispatch_plan = plan;
+        self.dispatch_cursor = 0;
+        self.pump_dispatch(sched);
+    }
+
+    /// Feed the next entry of the dispatch plan into the event queue under
+    /// its reserved sequence number. Every dispatched event's handler
+    /// calls this again, so exactly one plan entry is pending at a time.
+    /// An entry never fires before its predecessor (the plan is sorted by
+    /// firing order), so scheduling entry k+1 while handling entry k never
+    /// needs to place it in the past.
+    fn pump_dispatch(&mut self, sched: &mut Scheduler<'_, Event>) {
+        if let Some(&(at, seq, planned)) = self.dispatch_plan.get(self.dispatch_cursor) {
+            self.dispatch_cursor += 1;
+            let ev = match planned {
+                PlannedEvent::SubmitJob(index) => Event::SubmitJob { index },
+                PlannedEvent::Chaos(index) => Event::Chaos { index },
+                PlannedEvent::ChaosEnd(index) => Event::ChaosEnd { index },
+            };
+            sched.at_with_seq(at, seq, ev);
         }
     }
 
@@ -648,12 +717,7 @@ impl Cluster {
     fn start_fan(&mut self, sched: &mut Scheduler<'_, Event>, write: u64) {
         let (head, rest, size, owner) = {
             let st = &self.writes[&write];
-            (
-                st.written[0],
-                st.targets[1..].to_vec(),
-                st.size,
-                st.owner,
-            )
+            (st.written[0], st.targets[1..].to_vec(), st.size, st.owner)
         };
         let rest: Vec<NodeId> = rest.into_iter().filter(|&t| self.node_usable(t)).collect();
         if rest.is_empty() {
@@ -663,7 +727,8 @@ impl Cluster {
         let mut new_flows = Vec::new();
         for t in rest {
             let fid = self.net.start_flow(sched.now(), head, t, size, 0);
-            self.flows.insert(fid, FlowCtx::PipeFan { write, target: t });
+            self.flows
+                .insert(fid, FlowCtx::PipeFan { write, target: t });
             new_flows.push(fid);
         }
         {
@@ -717,7 +782,9 @@ impl Cluster {
     /// A pipeline write lost its head transfer: retry with fresh targets
     /// or abandon.
     fn retry_or_fail_write(&mut self, sched: &mut Scheduler<'_, Event>, write: u64) {
-        let Some(st) = self.writes.get(&write) else { return };
+        let Some(st) = self.writes.get(&write) else {
+            return;
+        };
         let (owner, file, size, retries, old_block) =
             (st.owner, st.file, st.size, st.retries, st.block);
         let mut excluded = st.excluded.clone();
@@ -736,9 +803,9 @@ impl Cluster {
         // JobTracker's tracker timeout reschedules the whole attempt.
         let writer_gone = writer.is_some_and(|w| !self.node_reachable(w));
         if retries < 3 && !writer_gone {
-            if let Some((block, targets)) =
-                self.nn
-                    .allocate_block_excluding(file, size, writer, &excluded, &self.topo)
+            if let Some((block, targets)) = self
+                .nn
+                .allocate_block_excluding(file, size, writer, &excluded, &self.topo)
             {
                 let id = self.next_write_id;
                 self.next_write_id += 1;
@@ -801,10 +868,17 @@ impl Cluster {
     // Network plumbing
     // ==================================================================
 
-    /// (Re-)arm the network tick at the next flow completion.
+    /// (Re-)arm the network tick at the next flow completion, unless a
+    /// tick at that exact instant is already pending (see
+    /// [`Cluster::armed_net_ticks`]).
     fn arm_net(&mut self, sched: &mut Scheduler<'_, Event>) {
         if let Some(t) = self.net.next_completion() {
-            sched.at(t, Event::NetTick);
+            // Mirror Scheduler::at's past-clamp so the bookkeeping key
+            // matches the instant the tick will actually fire at.
+            let t = t.max(sched.now());
+            if self.armed_net_ticks.insert(t) {
+                sched.at(t, Event::NetTick);
+            }
         }
     }
 
@@ -1056,8 +1130,7 @@ impl Cluster {
                 }
                 Some(src) if src == meta.node => {
                     let (_, disk) = self.slow(meta.node);
-                    let secs =
-                        transfer_secs(meta.input_bytes, self.cfg.mr.disk_read_rate) * disk;
+                    let secs = transfer_secs(meta.input_bytes, self.cfg.mr.disk_read_rate) * disk;
                     sched.after(
                         rtt + SimDuration::from_secs_f64(secs),
                         Event::MapInputReady { attempt },
@@ -1065,9 +1138,9 @@ impl Cluster {
                     return;
                 }
                 Some(src) => {
-                    let fid =
-                        self.net
-                            .start_flow(sched.now(), src, meta.node, meta.input_bytes, 0);
+                    let fid = self
+                        .net
+                        .start_flow(sched.now(), src, meta.node, meta.input_bytes, 0);
                     self.flows.insert(fid, FlowCtx::MapInput { attempt });
                     self.attempt_flows.entry(attempt).or_default().push(fid);
                     self.arm_net(sched);
@@ -1118,9 +1191,7 @@ impl Cluster {
         for r in out.wake_reduces {
             self.drive_reduce(sched, r);
         }
-        let notes = self
-            .jt
-            .try_complete_maponly(sched.now(), attempt.task.job);
+        let notes = self.jt.try_complete_maponly(sched.now(), attempt.task.job);
         self.handle_notes(sched, notes);
     }
 
@@ -1249,8 +1320,10 @@ impl Cluster {
             self.finished_jobs += 1;
             if ok {
                 if let (Some(m), Some(start)) = (&mut self.obs_metrics, self.workload_start) {
-                    m.reg
-                        .observe(m.job_secs, sched.now().saturating_since(start).as_secs_f64());
+                    m.reg.observe(
+                        m.job_secs,
+                        sched.now().saturating_since(start).as_secs_f64(),
+                    );
                 }
             }
             if self.finished_jobs == self.schedule.len() {
@@ -1341,7 +1414,9 @@ impl Cluster {
             if !self.node_reachable(mv.src) || !self.node_usable(mv.dst) {
                 continue;
             }
-            let fid = self.net.start_flow(sched.now(), mv.src, mv.dst, mv.bytes, 0);
+            let fid = self
+                .net
+                .start_flow(sched.now(), mv.src, mv.dst, mv.bytes, 0);
             self.flows.insert(
                 fid,
                 FlowCtx::Balancer {
@@ -1411,7 +1486,10 @@ impl Cluster {
         }
         self.run_chaos_supervision(sched.now());
         self.arm_net(sched);
-        sched.after(self.cfg.hdfs.replication_monitor_interval, Event::MasterTick);
+        sched.after(
+            self.cfg.hdfs.replication_monitor_interval,
+            Event::MasterTick,
+        );
     }
 
     /// Record the current value of every registered metric (when the
@@ -1626,8 +1704,7 @@ impl Cluster {
             return;
         }
         if self.auditor.is_some() {
-            let mut violations =
-                hog_chaos::collect_violations(&[&self.net, &self.nn, &self.jt]);
+            let mut violations = hog_chaos::collect_violations(&[&self.net, &self.nn, &self.jt]);
             violations.extend(self.cross_layer_violations());
             if let Some(aud) = &mut self.auditor {
                 if let Some(f) = aud.observe(now, violations) {
@@ -1635,8 +1712,7 @@ impl Cluster {
                 }
             }
         }
-        if self.chaos_failure.is_none() && self.watchdog.is_some() && self.phase != RunPhase::Done
-        {
+        if self.chaos_failure.is_none() && self.watchdog.is_some() && self.phase != RunPhase::Done {
             let sig = self.progress_sig();
             if let Some(wd) = &mut self.watchdog {
                 if let Some(f) = wd.observe(now, sig) {
@@ -1649,8 +1725,7 @@ impl Cluster {
         // so its last entry precedes (or coincides with) the failure time.
         if self.chaos_failure.is_some() && self.tracer.enabled() {
             let tail = self.tracer.tail(self.cfg.obs.dump_tail);
-            let rendered =
-                render_tail(&tail, self.tracer.events_recorded(), self.tracer.dropped());
+            let rendered = render_tail(&tail, self.tracer.events_recorded(), self.tracer.dropped());
             if let Some(f) = &mut self.chaos_failure {
                 f.append_context(&rendered);
             }
@@ -1752,10 +1827,14 @@ impl Model for Cluster {
                 }
             }
             Event::NetTick => {
-                let ends = self.net.advance(sched.now());
-                for end in ends {
+                self.armed_net_ticks.remove(&sched.now());
+                let mut ends = std::mem::take(&mut self.flow_end_buf);
+                ends.clear();
+                self.net.advance_into(sched.now(), &mut ends);
+                for end in ends.drain(..) {
                     self.on_flow_end(sched, end);
                 }
+                self.flow_end_buf = ends;
                 self.arm_net(sched);
             }
             Event::MasterTick => self.on_master_tick(sched),
@@ -1834,12 +1913,21 @@ impl Model for Cluster {
                 let notes = self.jt.attempt_failed(sched.now(), attempt, fr);
                 self.handle_notes(sched, notes);
             }
-            Event::SubmitJob { index } => self.on_submit_job(sched, index),
+            Event::SubmitJob { index } => {
+                self.pump_dispatch(sched);
+                self.on_submit_job(sched, index)
+            }
             Event::PumpUpload => self.pump_upload(sched),
             Event::ResizePool { delta } => self.on_resize_pool(sched, delta),
             Event::BalancerTick => self.on_balancer_tick(sched),
-            Event::Chaos { index } => self.on_chaos(sched, index),
-            Event::ChaosEnd { index } => self.on_chaos_end(sched, index),
+            Event::Chaos { index } => {
+                self.pump_dispatch(sched);
+                self.on_chaos(sched, index)
+            }
+            Event::ChaosEnd { index } => {
+                self.pump_dispatch(sched);
+                self.on_chaos_end(sched, index)
+            }
         }
     }
 

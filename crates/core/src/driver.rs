@@ -73,6 +73,13 @@ pub struct RunResult {
     pub end_time: SimTime,
     /// Events processed.
     pub events: u64,
+    /// High-water mark of the pending-event queue.
+    pub peak_queue: usize,
+    /// Fluid-net rate recomputations performed.
+    pub net_recomputes: u64,
+    /// Total flows examined across those recomputations (per-recompute
+    /// work; see [`hog_net::FluidNet::recompute_work`]).
+    pub net_recompute_work: u64,
     /// Why the run stopped.
     pub stopped_early: bool,
     /// Human-readable summaries of jobs that never reached a terminal
@@ -226,6 +233,9 @@ pub fn run_workload_with_events(
         stuck_jobs,
         end_time: stats.end_time,
         events: stats.events_handled,
+        peak_queue: stats.peak_queue,
+        net_recomputes: cluster.network().recompute_count(),
+        net_recompute_work: cluster.network().recompute_work(),
         stopped_early: stats.stop != hog_sim_core::engine::StopReason::ModelFinished
             && cluster.phase() != RunPhase::Done,
         chaos_failure: cluster.chaos_failure().cloned(),

@@ -49,6 +49,78 @@ pub struct NamenodeTickOutput {
     pub orders: Vec<ReplOrder>,
 }
 
+/// Sentinel for "block not queued" in [`ReplQueue::bucket_of`].
+const NOT_QUEUED: u16 = u16::MAX;
+
+/// Priority-bucketed re-replication queue (Hadoop's
+/// `UnderReplicatedBlocks`): queued blocks live in the bucket matching
+/// their live-replica count, so the per-tick dispatch walks most-critical
+/// first by concatenating buckets instead of re-sorting the whole queue
+/// every tick. Membership is updated at the handful of replica-count
+/// mutation sites, keeping dispatch iteration order identical to a stable
+/// sort by replica count over BlockId-ascending blocks.
+#[derive(Default)]
+struct ReplQueue {
+    /// `buckets[c]` = queued blocks with exactly `c` live replicas.
+    buckets: Vec<BTreeSet<BlockId>>,
+    /// Block → occupied bucket, dense by BlockId ([`NOT_QUEUED`] = absent).
+    bucket_of: Vec<u16>,
+    len: usize,
+}
+
+impl ReplQueue {
+    /// Queue `block` under `count` live replicas, moving it if it is
+    /// already queued under a stale count.
+    fn insert(&mut self, block: BlockId, count: usize) {
+        let idx = block.0 as usize;
+        if self.bucket_of.len() <= idx {
+            self.bucket_of.resize(idx + 1, NOT_QUEUED);
+        }
+        let count = count.min(NOT_QUEUED as usize - 1);
+        let cur = self.bucket_of[idx];
+        if cur as usize == count {
+            return;
+        }
+        if cur != NOT_QUEUED {
+            self.buckets[cur as usize].remove(&block);
+            self.len -= 1;
+        }
+        if self.buckets.len() <= count {
+            self.buckets.resize_with(count + 1, BTreeSet::new);
+        }
+        self.buckets[count].insert(block);
+        self.bucket_of[idx] = count as u16;
+        self.len += 1;
+    }
+
+    /// Remove `block` from the queue if present.
+    fn remove(&mut self, block: BlockId) {
+        let idx = block.0 as usize;
+        let Some(&cur) = self.bucket_of.get(idx) else {
+            return;
+        };
+        if cur != NOT_QUEUED {
+            self.buckets[cur as usize].remove(&block);
+            self.bucket_of[idx] = NOT_QUEUED;
+            self.len -= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued blocks, fewest-replicas bucket first, BlockId-ascending
+    /// within a bucket.
+    fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.buckets.iter().flat_map(|b| b.iter().copied())
+    }
+}
+
 /// The HDFS master. See the module docs for the liveness protocol.
 pub struct Namenode {
     cfg: HdfsConfig,
@@ -57,8 +129,8 @@ pub struct Namenode {
     files: Vec<FileMeta>,
     blocks: Vec<BlockMeta>,
     datanodes: BTreeMap<NodeId, DatanodeInfo>,
-    /// Blocks below their replication target.
-    needs_repl: BTreeSet<BlockId>,
+    /// Blocks below their replication target, bucketed by replica count.
+    needs_repl: ReplQueue,
     /// In-flight replication targets per block (counted against deficit).
     pending_repl: HashMap<BlockId, Vec<NodeId>>,
     rng: SimRng,
@@ -79,7 +151,7 @@ impl Namenode {
             files: Vec::new(),
             blocks: Vec::new(),
             datanodes: BTreeMap::new(),
-            needs_repl: BTreeSet::new(),
+            needs_repl: ReplQueue::default(),
             pending_repl: HashMap::new(),
             rng,
             repl_completed: Counter::new(),
@@ -130,9 +202,10 @@ impl Namenode {
             }
             meta.expected = r;
             if meta.deficit() > 0 {
-                self.needs_repl.insert(b);
+                let count = meta.replicas.len();
+                self.needs_repl.insert(b, count);
             } else {
-                self.needs_repl.remove(&b);
+                self.needs_repl.remove(b);
             }
         }
     }
@@ -228,7 +301,8 @@ impl Namenode {
                 self.blocks_lost.incr();
             }
             if meta.deficit() > 0 {
-                self.needs_repl.insert(b);
+                let count = meta.replicas.len();
+                self.needs_repl.insert(b, count);
             }
         }
     }
@@ -361,7 +435,8 @@ impl Namenode {
                 .with("deficit", meta.deficit())
         });
         if meta.deficit() > 0 {
-            self.needs_repl.insert(block);
+            let count = meta.replicas.len();
+            self.needs_repl.insert(block, count);
         }
     }
 
@@ -384,7 +459,7 @@ impl Namenode {
                 dn.remove_block(block, size);
             }
         }
-        self.needs_repl.remove(&block);
+        self.needs_repl.remove(block);
         self.pending_repl.remove(&block);
         self.files[file.0 as usize].blocks.retain(|&b| b != block);
     }
@@ -403,7 +478,7 @@ impl Namenode {
                     dn.remove_block(b, size);
                 }
             }
-            self.needs_repl.remove(&b);
+            self.needs_repl.remove(b);
             self.pending_repl.remove(&b);
             // Expected 0 so the block never re-enters the repl queue.
             self.blocks[b.0 as usize].expected = 0;
@@ -468,7 +543,8 @@ impl Namenode {
                 self.blocks_lost.incr();
             }
             if meta.deficit() > 0 {
-                self.needs_repl.insert(block);
+                let count = meta.replicas.len();
+                self.needs_repl.insert(block, count);
             }
         }
     }
@@ -498,8 +574,8 @@ impl Namenode {
             return Vec::new();
         }
         // Priority: fewest replicas first (Hadoop's priority queues).
-        let mut queue: Vec<BlockId> = self.needs_repl.iter().copied().collect();
-        queue.sort_by_key(|b| self.blocks[b.0 as usize].replicas.len());
+        // The buckets already hold that order — no per-tick sort.
+        let queue: Vec<BlockId> = self.needs_repl.iter().collect();
         let mut orders = Vec::new();
         for b in queue {
             if orders.len() >= self.cfg.max_repl_orders_per_tick {
@@ -511,7 +587,7 @@ impl Namenode {
             if deficit == 0 {
                 if pending == 0 {
                     // Fully satisfied meanwhile.
-                    self.needs_repl.remove(&b);
+                    self.needs_repl.remove(b);
                 }
                 continue;
             }
@@ -556,7 +632,9 @@ impl Namenode {
                     .iter()
                     .map(|&n| (n, topo.site_of(n)))
                     .collect();
-                let targets = self.policy.choose(None, 1, &existing, &cands, &mut self.rng);
+                let targets = self
+                    .policy
+                    .choose(None, 1, &existing, &cands, &mut self.rng);
                 let Some(&dst) = targets.first() else { break };
                 self.datanodes.get_mut(&src).unwrap().repl_streams += 1;
                 self.datanodes.get_mut(&dst).unwrap().repl_streams += 1;
@@ -604,14 +682,21 @@ impl Namenode {
                     self.blocks[block.0 as usize].replicas.insert(dst);
                 }
             }
-            if self.blocks[block.0 as usize].deficit() == 0 {
-                self.needs_repl.remove(&block);
+            let meta = &self.blocks[block.0 as usize];
+            if meta.deficit() == 0 {
+                self.needs_repl.remove(block);
+            } else {
+                // Still deficient: re-key under the new replica count.
+                let count = meta.replicas.len();
+                self.needs_repl.insert(block, count);
             }
         } else {
             self.repl_failed.incr();
             // Stays (or re-enters) the queue if still deficient.
-            if self.blocks[block.0 as usize].deficit() > 0 {
-                self.needs_repl.insert(block);
+            let meta = &self.blocks[block.0 as usize];
+            if meta.deficit() > 0 {
+                let count = meta.replicas.len();
+                self.needs_repl.insert(block, count);
             }
         }
     }
@@ -774,10 +859,7 @@ impl hog_sim_core::Auditable for Namenode {
                     Some(dn) if !dn.blocks.contains(&BlockId(i as u64)) => {
                         out.push(Violation::new(
                             "hdfs",
-                            format!(
-                                "block {i} lists datanode {} which does not host it",
-                                n.0
-                            ),
+                            format!("block {i} lists datanode {} which does not host it", n.0),
                         ))
                     }
                     Some(_) => {}
@@ -923,7 +1005,12 @@ mod tests {
         let cfg = HdfsConfig::hog().with_replication(2);
         let (mut nn, topo, _) = setup(1, cfg); // 3 nodes total
         let f = write_file(&mut nn, &topo, "/in/a", 2, 1024);
-        let holders: Vec<NodeId> = nn.block(nn.blocks_of(f)[0]).replicas.iter().copied().collect();
+        let holders: Vec<NodeId> = nn
+            .block(nn.blocks_of(f)[0])
+            .replicas
+            .iter()
+            .copied()
+            .collect();
         for h in &holders {
             nn.mark_silent(SimTime::ZERO, *h);
         }

@@ -9,22 +9,44 @@
 //! * loopback (src == dst): a fixed unshared local-copy rate
 //!
 //! Whenever the flow set changes (start, cancel, completion, node death)
-//! all flows are first progressed to the current instant with their old
-//! rates and then rates are recomputed. This is the classic NS-style fluid
-//! approximation: it captures the paper's key effects — WAN shuffle is slow
-//! because many reducers share one site uplink, while intra-site traffic
-//! only contends for NICs — without packet-level cost.
+//! rates are recomputed. This is the classic NS-style fluid approximation:
+//! it captures the paper's key effects — WAN shuffle is slow because many
+//! reducers share one site uplink, while intra-site traffic only contends
+//! for NICs — without packet-level cost.
 //!
 //! Propagation latency is deliberately **not** folded into flow completion
 //! times; bulk transfers are bandwidth-dominated and RPC latency is modelled
 //! explicitly by the substrates via [`Network::latency`].
+//!
+//! # Scale path (DESIGN.md §10)
+//!
+//! The naive formulation progressed *every* flow and re-ran a *global*
+//! waterfilling pass on every flow event — O(flows × links) work per event.
+//! This implementation is incremental while reproducing the same simulated
+//! outcomes:
+//!
+//! * **Persistent tables** — `LinkKey`s are interned to dense `u32` ids
+//!   once, node→site lookups are a dense `Vec`, and each link keeps its
+//!   member-flow list up to date, so no per-recompute `HashMap` is built.
+//! * **Lazy flow progress** — a flow's `remaining` is rebased only when its
+//!   own rate changes. Completion instants are *predicted* with the same
+//!   millisecond-grain arithmetic the eager version used
+//!   (`remaining − rate·(Δms/1000) < DONE_EPS`), kept in a min-heap, and
+//!   harvested when simulation time passes them.
+//! * **Component-local recompute** — a flow start/end only re-waterfills
+//!   the connected component of links it touches. Disjoint components
+//!   cannot exchange bandwidth, and the freezing pass visits the affected
+//!   links in the same relative order as the global pass, so the computed
+//!   rates are identical (see DESIGN.md §10 for the argument).
 
 use crate::params::NetParams;
 use crate::topology::{NodeId, SiteId};
 use crate::{FlowEnd, FlowId, FlowOutcome, Network};
 use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::{SimDuration, SimTime};
+use std::cmp::Reverse;
 use std::collections::HashMap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// One shared capacity on a flow's path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -35,32 +57,85 @@ enum LinkKey {
     SiteDown(SiteId),
 }
 
+/// Dense index into [`FluidNet::links`].
+type LinkId = u32;
+
+/// Interned link: its identity plus the positions (in [`FluidNet::flows`])
+/// of the flows currently traversing it.
+struct LinkState {
+    key: LinkKey,
+    flows_on: Vec<u32>,
+}
+
+/// A flow's path never exceeds 4 links (NIC up, site up, site down, NIC
+/// down), so paths are fixed arrays instead of heap `Vec`s.
+const MAX_PATH: usize = 4;
+
 #[derive(Clone, Debug)]
 struct Flow {
     id: FlowId,
     tag: u64,
     src: NodeId,
     dst: NodeId,
-    /// Links this flow traverses (empty for loopback).
-    path: Vec<LinkKey>,
+    /// Interned links this flow traverses (first `links_len` entries).
+    links: [LinkId; MAX_PATH],
+    links_len: u8,
+    /// Position of this flow inside each link's `flows_on` list.
+    link_pos: [u32; MAX_PATH],
+    /// Bytes left as of `upd` (*not* of "now" — progress is lazy).
     remaining: f64,
     rate: f64,
+    /// Epoch start: the instant `remaining`/`rate` were last rebased.
+    upd: SimTime,
+    /// Bumped on every rate change; stale heap entries carry old values.
+    gen: u32,
 }
+
+/// Sentinel for "node not registered" in the dense site table.
+const NO_SITE: u16 = u16::MAX;
+/// Sentinel for "flow no longer active" in the id → position table.
+const NO_FLOW: u32 = u32::MAX;
 
 /// The fluid network model. See the module docs for semantics.
 pub struct FluidNet {
     params: NetParams,
-    sites_of: HashMap<NodeId, SiteId>,
+    /// Dense node → site table (`NO_SITE` = unregistered).
+    site_of_node: Vec<u16>,
     flows: Vec<Flow>,
+    /// FlowId.0 → position in `flows` (`NO_FLOW` = gone). Grows by one
+    /// entry per flow ever started.
+    flow_pos: Vec<u32>,
+    /// Interned links; never shrinks (a handful of entries per node).
+    links: Vec<LinkState>,
+    link_ids: HashMap<LinkKey, LinkId>,
+    /// Predicted completion instants: `(first ms where remaining dips
+    /// below DONE_EPS, flow id, gen)`.
+    crossings: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Projected finish instants as reported by [`Network::next_completion`]
+    /// (ceil of remaining/rate — up to one ms *after* the crossing).
+    projections: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
     finished: Vec<FlowEnd>,
     last_update: SimTime,
     next_flow_id: u64,
-    /// Number of rate recomputations performed (diagnostics / benches).
+    /// Number of rate recomputation passes performed (diagnostics /
+    /// benches). One pass may cover several touched components.
     recomputes: u64,
+    /// Total flows examined across all recomputation passes: the
+    /// per-recompute work metric the scale benchmark tracks.
+    recompute_work: u64,
     /// WAN degradation multiplier applied to site up/downlink capacity
     /// (1.0 = healthy; chaos fault injection lowers it temporarily).
     wan_factor: f64,
     tracer: Tracer,
+    // Scratch space reused across recomputes (stamp-marked, never cleared).
+    link_mark: Vec<u32>,
+    /// Valid only where `link_mark` carries the current stamp: the local
+    /// dense id assigned to that link by the in-progress recompute.
+    link_local: Vec<u32>,
+    flow_mark: Vec<u32>,
+    mark_gen: u32,
+    scratch_flows: Vec<u32>,
+    scratch_links: Vec<LinkId>,
 }
 
 /// Completion threshold: a flow with fewer than this many bytes left is
@@ -72,14 +147,26 @@ impl FluidNet {
     pub fn new(params: NetParams) -> Self {
         FluidNet {
             params,
-            sites_of: HashMap::new(),
+            site_of_node: Vec::new(),
             flows: Vec::new(),
+            flow_pos: Vec::new(),
+            links: Vec::new(),
+            link_ids: HashMap::new(),
+            crossings: BinaryHeap::new(),
+            projections: BinaryHeap::new(),
             finished: Vec::new(),
             last_update: SimTime::ZERO,
             next_flow_id: 0,
             recomputes: 0,
+            recompute_work: 0,
             wan_factor: 1.0,
             tracer: Tracer::disabled(),
+            link_mark: Vec::new(),
+            link_local: Vec::new(),
+            flow_mark: Vec::new(),
+            mark_gen: 0,
+            scratch_flows: Vec::new(),
+            scratch_links: Vec::new(),
         }
     }
 
@@ -93,14 +180,34 @@ impl FluidNet {
         &self.params
     }
 
-    /// Diagnostics: how many rate recomputations have run.
+    /// Diagnostics: how many rate recomputation passes have run.
     pub fn recompute_count(&self) -> u64 {
         self.recomputes
     }
 
+    /// Diagnostics: total flows examined across all recomputation passes
+    /// (the per-recompute work measure — divide by [`recompute_count`] for
+    /// the average working-set size).
+    ///
+    /// [`recompute_count`]: FluidNet::recompute_count
+    pub fn recompute_work(&self) -> u64 {
+        self.recompute_work
+    }
+
     /// The current rate of a flow, if it is still active (testing hook).
     pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+        let p = *self.flow_pos.get(id.0 as usize)?;
+        if p == NO_FLOW {
+            return None;
+        }
+        Some(self.flows[p as usize].rate)
+    }
+
+    fn site_of(&self, node: NodeId) -> Option<SiteId> {
+        match self.site_of_node.get(node.0 as usize) {
+            Some(&s) if s != NO_SITE => Some(SiteId(s)),
+            _ => None,
+        }
     }
 
     fn cap_of(&self, link: LinkKey) -> f64 {
@@ -120,10 +227,15 @@ impl FluidNet {
     pub fn set_wan_factor(&mut self, now: SimTime, factor: f64) {
         self.progress_to(now);
         self.wan_factor = factor.max(1e-3);
-        self.tracer.emit(|| {
-            TraceEvent::new(Layer::Net, "wan_factor").with("factor", self.wan_factor)
-        });
-        self.recompute_rates();
+        self.tracer
+            .emit(|| TraceEvent::new(Layer::Net, "wan_factor").with("factor", self.wan_factor));
+        // Capacities changed under every flow: full recompute.
+        self.recomputes += 1;
+        let all: Vec<u32> = (0..self.flows.len() as u32)
+            .filter(|&p| self.flows[p as usize].links_len > 0)
+            .collect();
+        self.recompute_for(&all);
+        self.settle_heaps();
     }
 
     /// The WAN degradation multiplier currently in force.
@@ -131,163 +243,282 @@ impl FluidNet {
         self.wan_factor
     }
 
-    fn path_for(&self, src: NodeId, dst: NodeId, diffuse_src: bool) -> Vec<LinkKey> {
-        if src == dst {
-            return Vec::new();
+    fn intern(&mut self, key: LinkKey) -> LinkId {
+        if let Some(&id) = self.link_ids.get(&key) {
+            return id;
         }
-        let ss = self.sites_of[&src];
-        let ds = self.sites_of[&dst];
-        if ss == ds {
-            if diffuse_src {
-                vec![LinkKey::NodeDown(dst)]
-            } else {
-                vec![LinkKey::NodeUp(src), LinkKey::NodeDown(dst)]
-            }
-        } else if diffuse_src {
-            vec![
-                LinkKey::SiteUp(ss),
-                LinkKey::SiteDown(ds),
-                LinkKey::NodeDown(dst),
-            ]
-        } else {
-            vec![
-                LinkKey::NodeUp(src),
-                LinkKey::SiteUp(ss),
-                LinkKey::SiteDown(ds),
-                LinkKey::NodeDown(dst),
-            ]
-        }
-    }
-
-    fn push_flow(
-        &mut self,
-        now: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        bytes: u64,
-        tag: u64,
-        diffuse_src: bool,
-    ) -> FlowId {
-        assert!(
-            self.sites_of.contains_key(&src) && self.sites_of.contains_key(&dst),
-            "both endpoints must be registered"
-        );
-        self.progress_to(now);
-        let id = FlowId(self.next_flow_id);
-        self.next_flow_id += 1;
-        let path = self.path_for(src, dst, diffuse_src);
-        self.tracer.emit(|| {
-            TraceEvent::new(Layer::Net, "flow_start")
-                .with("flow", id.0)
-                .with("src", src.0)
-                .with("dst", dst.0)
-                .with("bytes", bytes)
-                .with("wan", self.sites_of[&src] != self.sites_of[&dst])
+        let id = self.links.len() as LinkId;
+        self.links.push(LinkState {
+            key,
+            flows_on: Vec::new(),
         });
-        self.flows.push(Flow {
-            id,
-            tag,
-            src,
-            dst,
-            path,
-            remaining: bytes as f64,
-            rate: 0.0,
-        });
-        self.recompute_rates();
+        self.link_ids.insert(key, id);
+        self.link_mark.push(0);
+        self.link_local.push(0);
         id
     }
 
-    /// Drain progress for all flows up to `now` with the *current* rates,
-    /// moving completed flows into the finished buffer.
-    fn progress_to(&mut self, now: SimTime) {
-        debug_assert!(now >= self.last_update, "time went backwards");
-        let dt = (now.saturating_since(self.last_update)).as_secs_f64();
-        self.last_update = now;
+    fn path_for(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        diffuse_src: bool,
+    ) -> ([LinkId; MAX_PATH], u8) {
+        let mut links = [0 as LinkId; MAX_PATH];
+        let mut n = 0u8;
+        if src == dst {
+            return (links, 0);
+        }
+        let ss = self.site_of(src).expect("src registered");
+        let ds = self.site_of(dst).expect("dst registered");
+        let push = |net: &mut Self, key: LinkKey, links: &mut [LinkId; MAX_PATH], n: &mut u8| {
+            links[*n as usize] = net.intern(key);
+            *n += 1;
+        };
+        if ss == ds {
+            if !diffuse_src {
+                push(self, LinkKey::NodeUp(src), &mut links, &mut n);
+            }
+            push(self, LinkKey::NodeDown(dst), &mut links, &mut n);
+        } else {
+            if !diffuse_src {
+                push(self, LinkKey::NodeUp(src), &mut links, &mut n);
+            }
+            push(self, LinkKey::SiteUp(ss), &mut links, &mut n);
+            push(self, LinkKey::SiteDown(ds), &mut links, &mut n);
+            push(self, LinkKey::NodeDown(dst), &mut links, &mut n);
+        }
+        (links, n)
+    }
+
+    /// `remaining` of `f` progressed to `now` with its current rate — the
+    /// same `remaining -= rate · dt_secs` arithmetic the eager version
+    /// applied stepwise (dt in whole-ms f64, matching `as_secs_f64`).
+    fn rem_at(&self, f: &Flow, now: SimTime) -> f64 {
+        let dt = now.saturating_since(f.upd).as_secs_f64();
         if dt > 0.0 {
-            for f in &mut self.flows {
-                f.remaining -= f.rate * dt;
-            }
-        }
-        let mut i = 0;
-        let mut any_done = false;
-        while i < self.flows.len() {
-            if self.flows[i].remaining < DONE_EPS {
-                let f = self.flows.swap_remove(i);
-                self.tracer.emit(|| {
-                    TraceEvent::new(Layer::Net, "flow_end")
-                        .with("flow", f.id.0)
-                        .with("outcome", "completed")
-                });
-                self.finished.push(FlowEnd {
-                    id: f.id,
-                    tag: f.tag,
-                    src: f.src,
-                    dst: f.dst,
-                    outcome: FlowOutcome::Completed,
-                });
-                any_done = true;
-            } else {
-                i += 1;
-            }
-        }
-        if any_done {
-            self.recompute_rates();
+            f.remaining - f.rate * dt
+        } else {
+            f.remaining
         }
     }
 
-    /// Max-min fair progressive filling over the links used by the active
-    /// flow set. Loopback flows get the fixed loopback rate.
-    ///
-    /// Implementation notes (this runs on every flow-set change, so it is
-    /// the hottest function of a large simulation): links are densely
-    /// indexed per recompute, flow→link adjacency is built once, and each
-    /// round freezes *every* link currently at the minimum fair share —
-    /// in homogeneous clusters (all NICs equal) that collapses thousands
-    /// of tie-broken rounds into a handful.
-    fn recompute_rates(&mut self) {
-        self.recomputes += 1;
-        let n_flows = self.flows.len();
-        // Dense link table.
-        let mut link_ids: HashMap<LinkKey, u32> = HashMap::new();
+    /// First whole millisecond at which `f.remaining` dips below
+    /// [`DONE_EPS`] — the instant an eager per-ms progression would first
+    /// observe the flow as done. `None` if the flow never drains (rate 0).
+    fn crossing_of(&self, f: &Flow) -> Option<SimTime> {
+        if f.remaining < DONE_EPS {
+            return Some(f.upd);
+        }
+        if f.rate <= 0.0 {
+            return None;
+        }
+        let est = ((f.remaining - DONE_EPS) / f.rate * 1000.0).floor();
+        let mut k = if est >= 2.0 { est as u64 - 1 } else { 0 };
+        // Walk to the exact boundary of the eager predicate (the division
+        // above is only a seed; f64 rounding can misplace it by one).
+        loop {
+            if f.remaining - f.rate * (k as f64 / 1000.0) < DONE_EPS {
+                break;
+            }
+            k += 1;
+        }
+        Some(f.upd + SimDuration::from_millis(k))
+    }
+
+    /// Projected completion instant of `f` given its current rate: the
+    /// ceil-to-ms the eager version reported from `next_completion`.
+    fn projection_of(&self, f: &Flow) -> Option<SimTime> {
+        if f.remaining < DONE_EPS {
+            return Some(f.upd);
+        }
+        if f.rate <= 0.0 {
+            return None;
+        }
+        let secs = f.remaining / f.rate;
+        // Round *up* to the next millisecond so that progressing to the
+        // scheduled instant always drains the flow below DONE_EPS.
+        let ms = (secs * 1000.0).ceil().max(1.0);
+        Some(f.upd + SimDuration::from_millis(ms as u64))
+    }
+
+    /// Push fresh heap entries for `f` after a rate change (its `gen` must
+    /// already be bumped).
+    fn schedule_flow(&mut self, p: usize) {
+        let f = &self.flows[p];
+        if let Some(t) = self.crossing_of(f) {
+            self.crossings.push(Reverse((t, f.id.0, f.gen)));
+        }
+        if let Some(t) = self.projection_of(f) {
+            self.projections.push(Reverse((t, f.id.0, f.gen)));
+        }
+    }
+
+    fn entry_valid(&self, id: u64, gen: u32) -> bool {
+        match self.flow_pos.get(id as usize) {
+            Some(&p) if p != NO_FLOW => self.flows[p as usize].gen == gen,
+            _ => false,
+        }
+    }
+
+    /// Drop stale heads so `next_completion` (a `&self` method) can peek
+    /// in O(1), and rebuild the heaps outright if stale entries dominate.
+    fn settle_heaps(&mut self) {
+        while let Some(&Reverse((_, id, gen))) = self.projections.peek() {
+            if self.entry_valid(id, gen) {
+                break;
+            }
+            self.projections.pop();
+        }
+        let cap = 64 + 16 * self.flows.len();
+        if self.projections.len() > cap || self.crossings.len() > cap {
+            self.projections.clear();
+            self.crossings.clear();
+            for p in 0..self.flows.len() {
+                self.schedule_flow(p);
+            }
+        }
+    }
+
+    /// Detach `flows[p]` from its links' membership lists.
+    fn detach_links(&mut self, p: usize) {
+        let links_len = self.flows[p].links_len as usize;
+        for k in 0..links_len {
+            let l = self.flows[p].links[k] as usize;
+            let pos = self.flows[p].link_pos[k] as usize;
+            self.links[l].flows_on.swap_remove(pos);
+            if pos < self.links[l].flows_on.len() {
+                // Another flow's entry moved into `pos`: fix its back-pointer.
+                let moved = self.links[l].flows_on[pos] as usize;
+                let g = &mut self.flows[moved];
+                for k2 in 0..g.links_len as usize {
+                    if g.links[k2] as usize == l {
+                        g.link_pos[k2] = pos as u32;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `flows[p]` (swap-remove, like the eager version) keeping the
+    /// id → position and link membership tables consistent.
+    fn remove_flow_at(&mut self, p: usize) -> Flow {
+        self.detach_links(p);
+        let f = self.flows.swap_remove(p);
+        self.flow_pos[f.id.0 as usize] = NO_FLOW;
+        if p < self.flows.len() {
+            // The former tail now lives at `p`: update both tables.
+            let id = self.flows[p].id.0 as usize;
+            self.flow_pos[id] = p as u32;
+            let links_len = self.flows[p].links_len as usize;
+            for k in 0..links_len {
+                let l = self.flows[p].links[k] as usize;
+                let pos = self.flows[p].link_pos[k] as usize;
+                self.links[l].flows_on[pos] = p as u32;
+            }
+        }
+        f
+    }
+
+    /// Collect the union of connected components reachable from `seeds`
+    /// (link ids) into `scratch_flows` as flow positions, ascending.
+    fn collect_component(&mut self, seed_links: &[LinkId]) {
+        self.mark_gen += 1;
+        let stamp = self.mark_gen;
+        if self.flow_mark.len() < self.flows.len() {
+            self.flow_mark.resize(self.flows.len(), 0);
+        }
+        self.scratch_flows.clear();
+        self.scratch_links.clear();
+        let mut frontier = 0usize;
+        for &l in seed_links {
+            if self.link_mark[l as usize] != stamp {
+                self.link_mark[l as usize] = stamp;
+                self.scratch_links.push(l);
+            }
+        }
+        while frontier < self.scratch_links.len() {
+            let l = self.scratch_links[frontier] as usize;
+            frontier += 1;
+            for i in 0..self.links[l].flows_on.len() {
+                let p = self.links[l].flows_on[i];
+                if self.flow_mark[p as usize] == stamp {
+                    continue;
+                }
+                self.flow_mark[p as usize] = stamp;
+                self.scratch_flows.push(p);
+                let f = &self.flows[p as usize];
+                for k in 0..f.links_len as usize {
+                    let fl = f.links[k];
+                    if self.link_mark[fl as usize] != stamp {
+                        self.link_mark[fl as usize] = stamp;
+                        self.scratch_links.push(fl);
+                    }
+                }
+            }
+        }
+        self.scratch_flows.sort_unstable();
+    }
+
+    /// Max-min fair progressive filling over the given flow positions
+    /// (ascending — the same relative order the global pass used). Each
+    /// round freezes *every* link currently at the minimum fair share — in
+    /// homogeneous clusters (all NICs equal) that collapses thousands of
+    /// tie-broken rounds into a handful. Rebases each touched flow to
+    /// `last_update` and refreshes its heap entries.
+    fn recompute_for(&mut self, members: &[u32]) {
+        self.recompute_work += members.len() as u64;
+        let n = members.len();
+        if n == 0 {
+            return;
+        }
+        // Local dense link table in first-touch order (matches the relative
+        // enumeration order of the global pass; see module docs).
+        self.mark_gen += 1;
+        let stamp = self.mark_gen;
         let mut residual: Vec<f64> = Vec::new();
         let mut unfrozen_on: Vec<u32> = Vec::new();
         let mut flows_on: Vec<Vec<u32>> = Vec::new();
-        let mut flow_links: Vec<[u32; 4]> = vec![[u32::MAX; 4]; n_flows];
-        let mut frozen: Vec<bool> = vec![false; n_flows];
+        let mut flow_links: Vec<[u32; MAX_PATH]> = vec![[u32::MAX; MAX_PATH]; n];
+        let mut frozen: Vec<bool> = vec![false; n];
+        let mut rates: Vec<f64> = vec![0.0; n];
         let mut n_unfrozen = 0usize;
 
-        for (i, f) in self.flows.iter_mut().enumerate() {
-            if f.path.is_empty() {
-                f.rate = self.params.loopback;
-                frozen[i] = true;
-                continue;
-            }
+        // `link_mark[l] == stamp` ⇔ l already interned locally, with its
+        // local id in `link_local[l]`. First-touch assignment order matches
+        // the relative link-enumeration order of a global pass.
+        for (i, &p) in members.iter().enumerate() {
+            let f = &self.flows[p as usize];
+            debug_assert!(f.links_len > 0, "loopback flows have no component");
             n_unfrozen += 1;
-            for (k, &l) in f.path.iter().enumerate() {
-                let id = *link_ids.entry(l).or_insert_with(|| {
-                    residual.push(0.0);
+            for (k, &gl) in f.links.iter().enumerate().take(f.links_len as usize) {
+                let lid = if self.link_mark[gl as usize] == stamp {
+                    self.link_local[gl as usize]
+                } else {
+                    self.link_mark[gl as usize] = stamp;
+                    let l = residual.len() as u32;
+                    self.link_local[gl as usize] = l;
+                    residual.push(self.cap_of(self.links[gl as usize].key));
                     unfrozen_on.push(0);
                     flows_on.push(Vec::new());
-                    (residual.len() - 1) as u32
-                });
-                flow_links[i][k] = id;
-                unfrozen_on[id as usize] += 1;
-                flows_on[id as usize].push(i as u32);
+                    l
+                };
+                flow_links[i][k] = lid;
+                unfrozen_on[lid as usize] += 1;
+                flows_on[lid as usize].push(i as u32);
             }
-        }
-        for (l, &id) in &link_ids {
-            residual[id as usize] = self.cap_of(*l);
         }
 
         while n_unfrozen > 0 {
             // Minimum fair share among links still carrying unfrozen flows.
             let mut min_share = f64::INFINITY;
             for id in 0..residual.len() {
-                let n = unfrozen_on[id];
-                if n == 0 {
+                let c = unfrozen_on[id];
+                if c == 0 {
                     continue;
                 }
-                let share = residual[id].max(0.0) / n as f64;
+                let share = residual[id].max(0.0) / c as f64;
                 if share < min_share {
                     min_share = share;
                 }
@@ -299,11 +530,11 @@ impl FluidNet {
             // Freeze flows on every link at the minimum share.
             let mut froze_any = false;
             for id in 0..residual.len() {
-                let n = unfrozen_on[id];
-                if n == 0 {
+                let c = unfrozen_on[id];
+                if c == 0 {
                     continue;
                 }
-                let share = residual[id].max(0.0) / n as f64;
+                let share = residual[id].max(0.0) / c as f64;
                 if share > cutoff {
                     continue;
                 }
@@ -314,7 +545,7 @@ impl FluidNet {
                     if frozen[fi] {
                         continue;
                     }
-                    self.flows[fi].rate = min_share;
+                    rates[fi] = min_share;
                     frozen[fi] = true;
                     n_unfrozen -= 1;
                     froze_any = true;
@@ -331,21 +562,147 @@ impl FluidNet {
                 break; // numerical safety: should be unreachable
             }
         }
+
+        // Rebase every touched flow to `last_update`, apply the new rates,
+        // and refresh its predicted instants.
+        let now = self.last_update;
+        for (i, &p) in members.iter().enumerate() {
+            let f = &mut self.flows[p as usize];
+            f.remaining = if now > f.upd {
+                f.remaining - f.rate * now.saturating_since(f.upd).as_secs_f64()
+            } else {
+                f.remaining
+            };
+            f.upd = now;
+            f.rate = rates[i];
+            f.gen = f.gen.wrapping_add(1);
+            self.schedule_flow(p as usize);
+        }
     }
 
-    /// Projected completion instant of flow `f` given its current rate.
-    fn projected_finish(&self, f: &Flow) -> Option<SimTime> {
-        if f.remaining < DONE_EPS {
-            return Some(self.last_update);
+    /// Advance the clock to `now`, harvesting every flow whose predicted
+    /// crossing has passed. Completions are emitted in exactly the order
+    /// the eager ascending swap-remove scan produced, and each touched
+    /// component is re-waterfilled once.
+    fn progress_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        self.last_update = now;
+        let mut due: BTreeSet<u32> = BTreeSet::new();
+        while let Some(&Reverse((t, id, gen))) = self.crossings.peek() {
+            if t > now {
+                break;
+            }
+            self.crossings.pop();
+            if self.entry_valid(id, gen) {
+                due.insert(self.flow_pos[id as usize]);
+            }
         }
-        if f.rate <= 0.0 {
-            return None;
+        if due.is_empty() {
+            return;
         }
-        let secs = f.remaining / f.rate;
-        // Round *up* to the next millisecond so that progressing to the
-        // scheduled instant always drains the flow below DONE_EPS.
-        let ms = (secs * 1000.0).ceil().max(1.0);
-        Some(self.last_update + SimDuration::from_millis(ms as u64))
+        self.scratch_links.clear();
+        let mut dirty: Vec<LinkId> = std::mem::take(&mut self.scratch_links);
+        // Emulate the eager scan: ascending index, and when the swapped-in
+        // tail flow is itself done, re-check slot `p` immediately.
+        while let Some(p) = due.pop_first() {
+            let p = p as usize;
+            let tail = self.flows.len() - 1;
+            let f = self.remove_flow_at(p);
+            for k in 0..f.links_len as usize {
+                dirty.push(f.links[k]);
+            }
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::Net, "flow_end")
+                    .with("flow", f.id.0)
+                    .with("outcome", "completed")
+            });
+            self.finished.push(FlowEnd {
+                id: f.id,
+                tag: f.tag,
+                src: f.src,
+                dst: f.dst,
+                outcome: FlowOutcome::Completed,
+            });
+            if p != tail && due.remove(&(tail as u32)) {
+                due.insert(p as u32);
+            }
+        }
+        if !dirty.is_empty() {
+            self.recomputes += 1;
+            let seeds = std::mem::take(&mut dirty);
+            self.collect_component(&seeds);
+            let members = std::mem::take(&mut self.scratch_flows);
+            self.recompute_for(&members);
+            self.scratch_flows = members;
+            self.scratch_links = seeds;
+        } else {
+            self.scratch_links = dirty;
+        }
+    }
+
+    fn push_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+        diffuse_src: bool,
+    ) -> FlowId {
+        assert!(
+            self.site_of(src).is_some() && self.site_of(dst).is_some(),
+            "both endpoints must be registered"
+        );
+        self.progress_to(now);
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        let (links, links_len) = self.path_for(src, dst, diffuse_src);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Net, "flow_start")
+                .with("flow", id.0)
+                .with("src", src.0)
+                .with("dst", dst.0)
+                .with("bytes", bytes)
+                .with("wan", self.site_of(src) != self.site_of(dst))
+        });
+        let p = self.flows.len();
+        let mut link_pos = [0u32; MAX_PATH];
+        for k in 0..links_len as usize {
+            let l = links[k] as usize;
+            link_pos[k] = self.links[l].flows_on.len() as u32;
+            self.links[l].flows_on.push(p as u32);
+        }
+        self.flows.push(Flow {
+            id,
+            tag,
+            src,
+            dst,
+            links,
+            links_len,
+            link_pos,
+            remaining: bytes as f64,
+            rate: if links_len == 0 {
+                self.params.loopback
+            } else {
+                0.0
+            },
+            upd: now,
+            gen: 0,
+        });
+        self.flow_pos.push(p as u32);
+        debug_assert_eq!(self.flow_pos.len() as u64, self.next_flow_id);
+        if links_len == 0 {
+            // Loopback: fixed rate, no shared capacity — no recompute.
+            self.schedule_flow(p);
+        } else {
+            self.recomputes += 1;
+            self.collect_component(&links[..links_len as usize]);
+            let members = std::mem::take(&mut self.scratch_flows);
+            self.recompute_for(&members);
+            self.scratch_flows = members;
+        }
+        self.settle_heaps();
+        id
     }
 }
 
@@ -365,25 +722,25 @@ impl hog_sim_core::Auditable for FluidNet {
                     format!("flow {} has invalid rate {}", f.id.0, f.rate),
                 ));
             }
-            if f.remaining.is_nan() || f.remaining <= 0.0 {
+            let rem = self.rem_at(f, self.last_update);
+            if rem.is_nan() || rem <= 0.0 {
                 out.push(Violation::new(
                     "net",
-                    format!(
-                        "flow {} remains active with {} bytes left",
-                        f.id.0, f.remaining
-                    ),
+                    format!("flow {} remains active with {} bytes left", f.id.0, rem),
                 ));
             }
             for end in [f.src, f.dst] {
-                if !self.sites_of.contains_key(&end) {
+                if self.site_of(end).is_none() {
                     out.push(Violation::new(
                         "net",
                         format!("flow {} touches unregistered node {}", f.id.0, end.0),
                     ));
                 }
             }
-            for l in &f.path {
-                *load.entry(*l).or_insert(0.0) += f.rate;
+            for k in 0..f.links_len as usize {
+                *load
+                    .entry(self.links[f.links[k] as usize].key)
+                    .or_insert(0.0) += f.rate;
             }
         }
         for (l, used) in &load {
@@ -401,16 +758,25 @@ impl hog_sim_core::Auditable for FluidNet {
 
 impl Network for FluidNet {
     fn register_node(&mut self, node: NodeId, site: SiteId) {
-        self.sites_of.insert(node, site);
+        let idx = node.0 as usize;
+        if self.site_of_node.len() <= idx {
+            self.site_of_node.resize(idx + 1, NO_SITE);
+        }
+        self.site_of_node[idx] = site.0;
     }
 
     fn remove_node(&mut self, now: SimTime, node: NodeId) -> Vec<FlowEnd> {
         self.progress_to(now);
         let mut killed = Vec::new();
+        self.scratch_links.clear();
+        let mut dirty: Vec<LinkId> = std::mem::take(&mut self.scratch_links);
         let mut i = 0;
         while i < self.flows.len() {
             if self.flows[i].src == node || self.flows[i].dst == node {
-                let f = self.flows.swap_remove(i);
+                let f = self.remove_flow_at(i);
+                for k in 0..f.links_len as usize {
+                    dirty.push(f.links[k]);
+                }
                 self.tracer.emit(|| {
                     TraceEvent::new(Layer::Net, "flow_end")
                         .with("flow", f.id.0)
@@ -428,10 +794,21 @@ impl Network for FluidNet {
                 i += 1;
             }
         }
-        self.sites_of.remove(&node);
-        if !killed.is_empty() {
-            self.recompute_rates();
+        if let Some(s) = self.site_of_node.get_mut(node.0 as usize) {
+            *s = NO_SITE;
         }
+        if !dirty.is_empty() {
+            self.recomputes += 1;
+            let seeds = std::mem::take(&mut dirty);
+            self.collect_component(&seeds);
+            let members = std::mem::take(&mut self.scratch_flows);
+            self.recompute_for(&members);
+            self.scratch_flows = members;
+            self.scratch_links = seeds;
+        } else {
+            self.scratch_links = dirty;
+        }
+        self.settle_heaps();
         killed
     }
 
@@ -439,7 +816,7 @@ impl Network for FluidNet {
         if src == dst {
             return SimDuration::ZERO;
         }
-        match (self.sites_of.get(&src), self.sites_of.get(&dst)) {
+        match (self.site_of(src), self.site_of(dst)) {
             (Some(a), Some(b)) if a == b => self.params.intra_site_latency,
             _ => self.params.inter_site_latency,
         }
@@ -469,25 +846,40 @@ impl Network for FluidNet {
 
     fn cancel_flow(&mut self, now: SimTime, id: FlowId) {
         self.progress_to(now);
-        if let Some(pos) = self.flows.iter().position(|f| f.id == id) {
-            self.flows.swap_remove(pos);
-            self.recompute_rates();
+        let p = match self.flow_pos.get(id.0 as usize) {
+            Some(&p) if p != NO_FLOW => p as usize,
+            _ => return,
+        };
+        let f = self.remove_flow_at(p);
+        if f.links_len > 0 {
+            self.recomputes += 1;
+            self.collect_component(&f.links[..f.links_len as usize]);
+            let members = std::mem::take(&mut self.scratch_flows);
+            self.recompute_for(&members);
+            self.scratch_flows = members;
         }
+        self.settle_heaps();
     }
 
     fn advance(&mut self, now: SimTime) -> Vec<FlowEnd> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    fn advance_into(&mut self, now: SimTime, out: &mut Vec<FlowEnd>) {
         self.progress_to(now);
-        std::mem::take(&mut self.finished)
+        self.settle_heaps();
+        out.append(&mut self.finished);
     }
 
     fn next_completion(&self) -> Option<SimTime> {
         if !self.finished.is_empty() {
             return Some(self.last_update);
         }
-        self.flows
-            .iter()
-            .filter_map(|f| self.projected_finish(f))
-            .min()
+        // `settle_heaps` ran at the end of every mutating call, so the top
+        // entry (if any) is live.
+        self.projections.peek().map(|&Reverse((t, _, _))| t)
     }
 
     fn active_flows(&self) -> usize {
@@ -578,7 +970,13 @@ mod tests {
             net.register_node(NodeId(100 + i), s1);
         }
         for i in 0..12 {
-            net.start_flow(SimTime::ZERO, NodeId(i), NodeId(100 + i), 10 * MIB, i as u64);
+            net.start_flow(
+                SimTime::ZERO,
+                NodeId(i),
+                NodeId(100 + i),
+                10 * MIB,
+                i as u64,
+            );
         }
         let share = NetParams::grid_default().site_up / 12.0;
         for i in 0..12 {
@@ -708,6 +1106,122 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    #[test]
+    fn rate_of_and_cancel_after_many_swaps() {
+        // Exercise the FlowId → position table across interleaved removals
+        // (swap_remove reshuffles positions aggressively).
+        let (mut net, a, b) = two_site_net();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(net.start_flow(
+                SimTime::ZERO,
+                a[(i % 4) as usize],
+                b[((i + 1) % 4) as usize],
+                100 * MIB,
+                i,
+            ));
+        }
+        net.cancel_flow(SimTime::from_millis(1), ids[0]);
+        net.cancel_flow(SimTime::from_millis(2), ids[3]);
+        assert!(net.rate_of(ids[0]).is_none());
+        assert!(net.rate_of(ids[3]).is_none());
+        for &id in &[ids[1], ids[2], ids[4], ids[5]] {
+            assert!(net.rate_of(id).unwrap() > 0.0);
+        }
+        assert_eq!(net.active_flows(), 4);
+    }
+
+    /// From-scratch waterfilling oracle, written independently of the
+    /// incremental implementation: classic per-round progressive filling
+    /// over (path, capacity) tuples.
+    fn oracle_rates(
+        paths: &[Vec<String>],
+        caps: &std::collections::HashMap<String, f64>,
+        loopback: f64,
+    ) -> Vec<f64> {
+        let n = paths.len();
+        let mut rates = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        for (i, p) in paths.iter().enumerate() {
+            if p.is_empty() {
+                rates[i] = loopback;
+                frozen[i] = true;
+            }
+        }
+        let mut residual: std::collections::HashMap<String, f64> = caps.clone();
+        loop {
+            // Share of each link over its unfrozen flows.
+            let mut best: Option<f64> = None;
+            for (l, &cap) in &residual {
+                let users = paths
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| !frozen[*i] && p.contains(l))
+                    .count();
+                if users == 0 {
+                    continue;
+                }
+                let share = cap.max(0.0) / users as f64;
+                best = Some(match best {
+                    Some(b) if b <= share => b,
+                    _ => share,
+                });
+            }
+            let Some(min_share) = best else { break };
+            let cutoff = min_share * (1.0 + 1e-9) + 1e-9;
+            let mut froze = Vec::new();
+            for (l, &cap) in &residual {
+                let users: Vec<usize> = paths
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| !frozen[*i] && p.contains(l))
+                    .map(|(i, _)| i)
+                    .collect();
+                if users.is_empty() {
+                    continue;
+                }
+                let share = cap.max(0.0) / users.len() as f64;
+                if share <= cutoff {
+                    froze.extend(users);
+                }
+            }
+            froze.sort_unstable();
+            froze.dedup();
+            if froze.is_empty() {
+                break;
+            }
+            for i in froze {
+                if frozen[i] {
+                    continue;
+                }
+                frozen[i] = true;
+                rates[i] = min_share;
+                for l in &paths[i] {
+                    *residual.get_mut(l).unwrap() -= min_share;
+                }
+            }
+        }
+        rates
+    }
+
+    /// Human-readable link names for the oracle, mirroring `path_for`.
+    fn oracle_path(src: u32, dst: u32, site_of: impl Fn(u32) -> u16) -> Vec<String> {
+        if src == dst {
+            return Vec::new();
+        }
+        let (ss, ds) = (site_of(src), site_of(dst));
+        if ss == ds {
+            vec![format!("up{src}"), format!("down{dst}")]
+        } else {
+            vec![
+                format!("up{src}"),
+                format!("su{ss}"),
+                format!("sd{ds}"),
+                format!("down{dst}"),
+            ]
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -726,7 +1240,7 @@ mod tests {
             for (i, &(s, d, _)) in specs.iter().enumerate() {
                 let id = FlowId(i as u64);
                 if let Some(r) = net.rate_of(id) {
-                    prop_assert!(r > 0.0, "flow {i} starved");
+                    prop_assert!(r > 0.0, "flow {} starved", i);
                     if s == d { continue; }
                     *loads.entry(format!("up{s}")).or_default() += r;
                     *loads.entry(format!("down{d}")).or_default() += r;
@@ -740,7 +1254,7 @@ mod tests {
             }
             for (k, v) in loads {
                 let cap = if k.starts_with("site") { p.site_up } else { p.nic_up };
-                prop_assert!(v <= cap * 1.0001, "link {k} overloaded: {v} > {cap}");
+                prop_assert!(v <= cap * 1.0001, "link {} overloaded: {} > {}", k, v, cap);
             }
         }
 
@@ -762,6 +1276,93 @@ mod tests {
             // Times are non-decreasing as produced by drain().
             let times: Vec<u64> = ends.iter().map(|(t, _)| t.as_millis()).collect();
             prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Oracle equivalence: after an arbitrary interleaving of starts,
+        /// cancellations, and WAN-factor changes, the incremental rates
+        /// must match a from-scratch full waterfilling pass over the same
+        /// surviving flow set, on both homogeneous and heterogeneous
+        /// capacities, within 1e-9 relative.
+        #[test]
+        fn prop_incremental_matches_full_oracle(
+            ops in proptest::collection::vec(
+                (0u32..16, 0u32..16, 1u64..500_000_000, 0u8..10, 0u8..4),
+                1..60,
+            ),
+            hetero_sel in 0u8..2,
+            wan_move in 1u8..11,
+        ) {
+            let hetero = hetero_sel == 1;
+            let mut params = NetParams::grid_default();
+            if hetero {
+                // Heterogeneous capacities: downlinks faster than uplinks,
+                // asymmetric site pipes.
+                params.nic_down = params.nic_up * 2.5;
+                params.site_down = params.site_up * 0.6;
+            }
+            let loopback = params.loopback;
+            let (nic_up, nic_down, site_up, site_down) =
+                (params.nic_up, params.nic_down, params.site_up, params.site_down);
+            let mut net = FluidNet::new(params);
+            // 4 sites × 4 nodes.
+            for n in 0..16u32 {
+                net.register_node(NodeId(n), SiteId((n / 4) as u16));
+            }
+            let site_of = |n: u32| (n / 4) as u16;
+            let mut wan = 1.0f64;
+            let mut live: Vec<(FlowId, u32, u32)> = Vec::new(); // (id, src, dst)
+            let mut now = SimTime::ZERO;
+            for (step, &(src, dst, bytes, cancel_sel, op)) in ops.iter().enumerate() {
+                now += SimDuration::from_millis(1); // keep ops ordered
+                match op {
+                    0 | 1 => {
+                        let id = net.start_flow(now, NodeId(src), NodeId(dst), bytes, step as u64);
+                        live.push((id, src, dst));
+                    }
+                    2 if !live.is_empty() => {
+                        let idx = cancel_sel as usize % live.len();
+                        let (id, _, _) = live.swap_remove(idx);
+                        net.cancel_flow(now, id);
+                    }
+                    _ => {
+                        wan = wan_move as f64 / 10.0;
+                        net.set_wan_factor(now, wan);
+                    }
+                }
+                // Drop any flows that completed during this op.
+                for e in net.advance(now) {
+                    live.retain(|&(id, _, _)| id != e.id);
+                }
+                // Oracle over the surviving flow set.
+                let paths: Vec<Vec<String>> = live
+                    .iter()
+                    .map(|&(_, s, d)| oracle_path(s, d, site_of))
+                    .collect();
+                let mut caps = std::collections::HashMap::new();
+                for n in 0..16u32 {
+                    caps.insert(format!("up{n}"), nic_up);
+                    caps.insert(format!("down{n}"), nic_down);
+                }
+                for s in 0..4u16 {
+                    caps.insert(format!("su{s}"), site_up * wan);
+                    caps.insert(format!("sd{s}"), site_down * wan);
+                }
+                let want = oracle_rates(&paths, &caps, loopback);
+                for (k, &(id, s, d)) in live.iter().enumerate() {
+                    let got = net.rate_of(id).unwrap();
+                    let w = want[k];
+                    prop_assert!(
+                        (got - w).abs() <= 1e-9 * w.max(1.0),
+                        "step {}: flow {}→{} rate {} != oracle {}",
+                        step, s, d, got, w
+                    );
+                }
+            }
         }
     }
 }

@@ -117,6 +117,13 @@ pub trait Network {
     /// before `now`.
     fn advance(&mut self, now: SimTime) -> Vec<FlowEnd>;
 
+    /// Like [`Network::advance`], but appends the finished flows to a
+    /// caller-owned buffer so hot loops can reuse its allocation. The
+    /// default implementation delegates to `advance`.
+    fn advance_into(&mut self, now: SimTime, out: &mut Vec<FlowEnd>) {
+        out.append(&mut self.advance(now));
+    }
+
     /// The instant the earliest in-flight flow will finish, if any.
     fn next_completion(&self) -> Option<SimTime>;
 

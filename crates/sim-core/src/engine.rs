@@ -51,6 +51,21 @@ impl<'a, E> Scheduler<'a, E> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Reserve `n` consecutive queue sequence numbers (see
+    /// [`EventQueue::reserve_seqs`]); pair with [`Scheduler::at_with_seq`].
+    #[inline]
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        self.queue.reserve_seqs(n)
+    }
+
+    /// Schedule `event` at `at` under a previously reserved sequence
+    /// number, clamping past times to "now" like [`Scheduler::at`].
+    #[inline]
+    pub fn at_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        let at = at.max(self.now);
+        self.queue.push_with_seq(at, seq, event);
+    }
 }
 
 /// A simulation model: world state plus an event handler.
@@ -75,6 +90,8 @@ pub struct RunStats {
     pub end_time: SimTime,
     /// Number of events handled.
     pub events_handled: u64,
+    /// High-water mark of the pending-event set (scale diagnostics).
+    pub peak_queue: usize,
     /// Why the run stopped.
     pub stop: StopReason,
 }
@@ -151,6 +168,7 @@ impl<M: Model> Simulation<M> {
                 return RunStats {
                     end_time: self.now,
                     events_handled: handled,
+                    peak_queue: self.queue.peak_len(),
                     stop: StopReason::EventBudgetExhausted,
                 };
             }
@@ -158,6 +176,7 @@ impl<M: Model> Simulation<M> {
                 return RunStats {
                     end_time: self.now,
                     events_handled: handled,
+                    peak_queue: self.queue.peak_len(),
                     stop: StopReason::QueueEmpty,
                 };
             };
@@ -168,6 +187,7 @@ impl<M: Model> Simulation<M> {
                 return RunStats {
                     end_time: self.now,
                     events_handled: handled,
+                    peak_queue: self.queue.peak_len(),
                     stop: StopReason::HorizonReached,
                 };
             }
@@ -182,6 +202,7 @@ impl<M: Model> Simulation<M> {
                 return RunStats {
                     end_time: self.now,
                     events_handled: handled,
+                    peak_queue: self.queue.peak_len(),
                     stop: StopReason::ModelFinished,
                 };
             }
@@ -314,6 +335,9 @@ mod tests {
             observed: vec![],
         };
         sim.run(&mut m);
-        assert_eq!(m.observed, vec![SimTime::from_secs(5), SimTime::from_secs(5)]);
+        assert_eq!(
+            m.observed,
+            vec![SimTime::from_secs(5), SimTime::from_secs(5)]
+        );
     }
 }

@@ -54,6 +54,8 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Total number of events ever pushed (for instrumentation).
     pushed: u64,
+    /// High-water mark of pending events (for instrumentation).
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,6 +71,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             pushed: 0,
+            peak_len: 0,
         }
     }
 
@@ -78,6 +81,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             pushed: 0,
+            peak_len: 0,
         }
     }
 
@@ -86,8 +90,35 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_with_seq(at, seq, event);
+    }
+
+    /// Reserve `n` consecutive sequence numbers without pushing anything,
+    /// returning the first of the range. Later [`push_with_seq`] calls can
+    /// hand the reserved numbers back one by one, letting a caller schedule
+    /// events *lazily* while preserving the exact tie-break order a
+    /// batch-at-once push would have produced.
+    ///
+    /// [`push_with_seq`]: EventQueue::push_with_seq
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let first = self.next_seq;
+        self.next_seq += n;
+        first
+    }
+
+    /// Schedule `event` at `at` with an explicitly reserved sequence number
+    /// (from [`reserve_seqs`]). The heap orders solely on `(at, seq)`, so an
+    /// event pushed late with an early reserved seq pops exactly where it
+    /// would have had it been pushed eagerly.
+    ///
+    /// [`reserve_seqs`]: EventQueue::reserve_seqs
+    #[inline]
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
         self.pushed += 1;
         self.heap.push(Entry { at, seq, event });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event, together with its firing time.
@@ -119,6 +150,12 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn total_pushed(&self) -> u64 {
         self.pushed
+    }
+
+    /// Largest number of events that were ever pending at once.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Drop every pending event (the lifetime push counter is preserved).
@@ -175,6 +212,25 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.peak_len(), 2);
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.peak_len(), 2);
+    }
+
+    #[test]
+    fn reserved_seqs_pop_in_reserved_order() {
+        // Reserve three slots up front, push them out of wall-clock order
+        // (and interleaved with ordinary pushes), and check the pop order
+        // matches what an eager batch push would have produced.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        let first = q.reserve_seqs(3);
+        q.push(t, "plain-after-reserve"); // seq = first + 3
+        q.push_with_seq(t, first + 2, "r2");
+        q.push_with_seq(t, first, "r0");
+        q.push_with_seq(t, first + 1, "r1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["r0", "r1", "r2", "plain-after-reserve"]);
     }
 
     proptest! {
