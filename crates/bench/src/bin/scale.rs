@@ -11,9 +11,11 @@
 //! * `--smoke`          run only the 100-node tier (CI per-PR gate)
 //! * `--seed S`         cluster seed (default 7; schedule seed is 1000+S)
 //! * `--out PATH`       where to write the JSON report (default BENCH_scale.json)
-//! * `--check BASELINE` compare wall-clock against a previously written
-//!   report and exit non-zero if any shared tier regressed by more than
-//!   25% (and by more than an absolute noise floor)
+//! * `--check BASELINE` compare against a previously written report and
+//!   exit non-zero if any shared tier's wall-clock regressed by more than
+//!   25% (and by more than an absolute noise floor) **or** its outcome
+//!   fingerprint changed (the simulation no longer produces bit-identical
+//!   results)
 //!
 //! The JSON is hand-rolled (no serde in the workspace); keep the schema in
 //! sync with `.github/workflows/ci.yml` and DESIGN.md §10.
@@ -142,9 +144,11 @@ fn to_json(seed: u64, tiers: &[TierReport]) -> String {
     s
 }
 
-/// Minimal extraction of `"nodes": N ... "wall_ms": M` pairs from a report
-/// written by [`to_json`] (schema-coupled on purpose; no JSON dep).
-fn parse_baseline(text: &str) -> Vec<(usize, u64)> {
+/// Minimal extraction of `"nodes": N ... "wall_ms": M ... "fingerprint"`
+/// triples from a report written by [`to_json`] (schema-coupled on
+/// purpose; no JSON dep). The fingerprint is `None` for baselines written
+/// before it was recorded.
+fn parse_baseline(text: &str) -> Vec<(usize, u64, Option<String>)> {
     let mut out = Vec::new();
     for line in text.lines() {
         let line = line.trim();
@@ -160,8 +164,12 @@ fn parse_baseline(text: &str) -> Vec<(usize, u64)> {
                 .unwrap_or(rest.len());
             rest[..end].parse().ok()
         };
+        let fp = line.find("\"fingerprint\": \"").and_then(|i| {
+            let rest = &line[i + "\"fingerprint\": \"".len()..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        });
         if let (Some(n), Some(w)) = (field("nodes"), field("wall_ms")) {
-            out.push((n as usize, w));
+            out.push((n as usize, w, fp));
         }
     }
     out
@@ -222,10 +230,11 @@ fn main() {
         assert!(!baseline.is_empty(), "baseline {base} has no tiers");
         let mut failed = false;
         for t in &tiers {
-            let Some(&(_, base_ms)) = baseline.iter().find(|(n, _)| *n == t.nodes) else {
+            let Some((_, base_ms, base_fp)) = baseline.iter().find(|(n, _, _)| *n == t.nodes)
+            else {
                 continue;
             };
-            let limit = base_ms + (base_ms as f64 * REGRESSION_FRAC) as u64 + NOISE_FLOOR_MS;
+            let limit = base_ms + (*base_ms as f64 * REGRESSION_FRAC) as u64 + NOISE_FLOOR_MS;
             let verdict = if t.wall_ms > limit {
                 failed = true;
                 "REGRESSED"
@@ -236,6 +245,15 @@ fn main() {
                 "  check {:>5} nodes: {}ms vs baseline {}ms (limit {}ms) — {}",
                 t.nodes, t.wall_ms, base_ms, limit, verdict
             );
+            if let Some(fp) = base_fp {
+                if fp != &t.fingerprint {
+                    failed = true;
+                    println!(
+                        "  check {:>5} nodes: fingerprint {} != baseline {} — OUTCOME CHANGED",
+                        t.nodes, t.fingerprint, fp
+                    );
+                }
+            }
         }
         if failed {
             eprintln!("scale: wall-clock regression beyond {REGRESSION_FRAC:.0}% + {NOISE_FLOOR_MS}ms noise floor");

@@ -1,0 +1,259 @@
+//! Scheduler policy sweep: replay the truncated Facebook workload under
+//! each `hog-sched` policy (FIFO, fair + delay scheduling, failure-aware)
+//! across pool sizes and preemption pressure, and record the locality
+//! split (node/rack/site/remote), speculation, failures and workload
+//! response time per cell — the data behind EXPERIMENTS.md's scheduler
+//! study.
+//!
+//! A second section runs the preemption-burst ablation (X11): a scripted
+//! chaos plan hammers two sites with correlated `PreemptBurst`s while the
+//! invariant audit is armed, comparing FIFO's placement (which keeps
+//! walking into the blast zone) against the failure-aware policy (which
+//! learns the sites' reliability scores and routes work around them).
+//!
+//! Usage:
+//!   sched [--smoke] [--ablation] [--seed S] [--out PATH]
+//!
+//! * `--smoke`    run only the 100-node stable tier (CI-friendly)
+//! * `--ablation` run only the X11 burst ablation
+//! * `--seed S`   cluster seed (default 7; schedule seed is 1000+S)
+//! * `--out PATH` where to write the JSON report (default BENCH_sched.json)
+//!
+//! The JSON is hand-rolled (no serde in the workspace); the schema mirrors
+//! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md.
+
+use hog_chaos::{Fault, FaultPlan};
+use hog_core::driver::{run_workload, RunResult};
+use hog_core::{ClusterConfig, SchedPolicy};
+use hog_sim_core::SimDuration;
+use hog_workload::SubmissionSchedule;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Policies swept, in report order.
+const POLICIES: [SchedPolicy; 3] = [
+    SchedPolicy::Fifo,
+    SchedPolicy::Fair,
+    SchedPolicy::FailureAware,
+];
+
+/// `(pool size, churn label, mean lifetime override)` cells of the sweep.
+/// `None` keeps the stable-site default (12 h mean glidein lifetime);
+/// `Some` dials preemption pressure up to one eviction every ~2 h per
+/// node, the paper's Figure-5 "fluctuating pool" regime.
+const CELLS: [(usize, &str, Option<u64>); 3] = [
+    (100, "stable", None),
+    (300, "stable", None),
+    (100, "churn", Some(2 * 3600)),
+];
+
+/// Sites targeted by the X11 preemption-burst plan. Concentrating every
+/// burst on the same two sites is what gives a history-keeping scheduler
+/// something to learn.
+const BURST_SITES: [&str; 2] = ["UCSDT2", "AGLT2"];
+
+struct CellReport {
+    policy: SchedPolicy,
+    nodes: usize,
+    churn: &'static str,
+    wall_ms: u64,
+    response_secs: f64,
+    mean_job_secs: f64,
+    jobs_ok: usize,
+    jobs: usize,
+    node_local: u64,
+    rack_local: u64,
+    site_local: u64,
+    remote: u64,
+    speculative: u64,
+    failures: u64,
+}
+
+impl CellReport {
+    /// Share of map launches that hit node- or rack-local input.
+    fn local_share(&self) -> f64 {
+        let total = self.node_local + self.rack_local + self.site_local + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            (self.node_local + self.rack_local) as f64 / total as f64
+        }
+    }
+}
+
+fn cell_from(policy: SchedPolicy, nodes: usize, churn: &'static str, wall_ms: u64, r: &RunResult) -> CellReport {
+    CellReport {
+        policy,
+        nodes,
+        churn,
+        wall_ms,
+        response_secs: r.response_time.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+        mean_job_secs: r.mean_job_response_secs(),
+        jobs_ok: r.jobs_succeeded(),
+        jobs: r.jobs.len(),
+        node_local: r.jt.node_local,
+        rack_local: r.jt.rack_local,
+        site_local: r.jt.site_local,
+        remote: r.jt.remote,
+        speculative: r.jt.speculative,
+        failures: r.jt.failures,
+    }
+}
+
+fn run_cell(
+    policy: SchedPolicy,
+    nodes: usize,
+    churn: &'static str,
+    lifetime: Option<u64>,
+    seed: u64,
+    schedule: &SubmissionSchedule,
+) -> CellReport {
+    let mut cfg = ClusterConfig::hog(nodes, seed)
+        .with_scheduler(policy)
+        .named(format!("sched-{}-{nodes}-{churn}", policy.as_str()));
+    if let Some(secs) = lifetime {
+        cfg = cfg.with_mean_lifetime(SimDuration::from_secs(secs));
+    }
+    let wall = Instant::now();
+    let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
+    cell_from(policy, nodes, churn, wall.elapsed().as_millis() as u64, &r)
+}
+
+/// X11: repeated correlated preemption bursts against [`BURST_SITES`]
+/// through the workload window, invariant audit armed.
+fn burst_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    // One 45-victim burst every 5 minutes for the first ~90 minutes,
+    // alternating between the two target sites, so each site is hit
+    // every 10 minutes — within a half-life (600 s) of the previous hit,
+    // which is what lets the failure-aware policy's reliability score
+    // stay above threshold between bursts.
+    for k in 0..18u64 {
+        plan = plan.at(
+            SimDuration::from_secs(300 + k * 300),
+            Fault::PreemptBurst {
+                site: BURST_SITES[(k % 2) as usize].to_string(),
+                count: 45,
+            },
+        );
+    }
+    plan
+}
+
+fn run_burst(policy: SchedPolicy, seed: u64, schedule: &SubmissionSchedule) -> CellReport {
+    let cfg = ClusterConfig::hog(300, seed)
+        .with_scheduler(policy)
+        .with_fault_plan(burst_plan())
+        .with_audit(true)
+        .named(format!("sched-burst-{}", policy.as_str()));
+    let wall = Instant::now();
+    let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
+    cell_from(policy, 300, "bursts", wall.elapsed().as_millis() as u64, &r)
+}
+
+fn cell_json(c: &CellReport) -> String {
+    format!(
+        "{{\"policy\": \"{}\", \"nodes\": {}, \"churn\": \"{}\", \"wall_ms\": {}, \"response_secs\": {:.3}, \"mean_job_secs\": {:.3}, \"jobs_ok\": {}, \"jobs\": {}, \"node_local\": {}, \"rack_local\": {}, \"site_local\": {}, \"remote\": {}, \"local_share\": {:.4}, \"speculative\": {}, \"failures\": {}}}",
+        c.policy.as_str(),
+        c.nodes,
+        c.churn,
+        c.wall_ms,
+        c.response_secs,
+        c.mean_job_secs,
+        c.jobs_ok,
+        c.jobs,
+        c.node_local,
+        c.rack_local,
+        c.site_local,
+        c.remote,
+        c.local_share(),
+        c.speculative,
+        c.failures
+    )
+}
+
+fn to_json(seed: u64, cells: &[CellReport], ablation: &[CellReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"sched\",");
+    let _ = writeln!(s, "  \"workload\": \"facebook_truncated\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    for (key, group) in [("cells", cells), ("ablation", ablation)] {
+        let _ = writeln!(s, "  \"{key}\": [");
+        for (i, c) in group.iter().enumerate() {
+            let _ = write!(s, "    {}", cell_json(c));
+            s.push_str(if i + 1 < group.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(if key == "cells" { "  ],\n" } else { "  ]\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn print_cell(c: &CellReport) {
+    println!(
+        "  {:>13} {:>4}n {:>6}: resp={:>7.0}s mean_job={:>6.1}s ok={}/{} locality n/r/s/rem={}/{}/{}/{} local={:.1}% spec={} fail={} wall={}ms",
+        c.policy.as_str(),
+        c.nodes,
+        c.churn,
+        c.response_secs,
+        c.mean_job_secs,
+        c.jobs_ok,
+        c.jobs,
+        c.node_local,
+        c.rack_local,
+        c.site_local,
+        c.remote,
+        c.local_share() * 100.0,
+        c.speculative,
+        c.failures,
+        c.wall_ms
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ablation_only = args.iter().any(|a| a == "--ablation");
+    let seed = hog_bench::arg_usize(&args, "--seed", 7) as u64;
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+
+    let schedule = SubmissionSchedule::facebook_truncated(1000 + seed);
+    println!(
+        "sched: {} jobs / {} maps / {} reduces, seed {seed}",
+        schedule.len(),
+        schedule.total_maps(),
+        schedule.total_reduces()
+    );
+
+    let mut cells = Vec::new();
+    for &(nodes, churn, lifetime) in &CELLS {
+        if ablation_only || (smoke && (nodes, churn) != (CELLS[0].0, CELLS[0].1)) {
+            continue;
+        }
+        for &policy in &POLICIES {
+            let c = run_cell(policy, nodes, churn, lifetime, seed, &schedule);
+            print_cell(&c);
+            cells.push(c);
+        }
+    }
+
+    let mut ablation = Vec::new();
+    if !smoke {
+        println!("  -- X11 preemption bursts on {BURST_SITES:?}, audit on --");
+        for policy in [SchedPolicy::Fifo, SchedPolicy::FailureAware] {
+            let c = run_burst(policy, seed, &schedule);
+            print_cell(&c);
+            ablation.push(c);
+        }
+    }
+
+    let json = to_json(seed, &cells, &ablation);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+}

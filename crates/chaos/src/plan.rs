@@ -63,9 +63,9 @@ pub enum Fault {
         duration: SimDuration,
     },
     /// Corrupt a datanode's byte accounting by `delta_bytes` without
-    /// touching its block set. Exists so the invariant [`Auditor`]
-    /// (`crate::Auditor`) can be proven live: a run with this fault and
-    /// auditing enabled *must* abort.
+    /// touching its block set. Exists so the invariant
+    /// [`Auditor`](crate::Auditor) can be proven live: a run with this
+    /// fault and auditing enabled *must* abort.
     CorruptAccounting {
         /// Bytes of phantom usage to add.
         delta_bytes: u64,

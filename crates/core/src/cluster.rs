@@ -139,6 +139,10 @@ struct ObsMetrics {
     reduces_done: MetricId,
     task_failures: MetricId,
     jobs_finished: MetricId,
+    sched_node_local: MetricId,
+    sched_rack_local: MetricId,
+    sched_site_local: MetricId,
+    sched_remote: MetricId,
     flows_active: MetricId,
     flows_done: MetricId,
     job_secs: HistogramId,
@@ -158,6 +162,10 @@ impl ObsMetrics {
             reduces_done: reg.register(Layer::MapReduce, "reduces_done"),
             task_failures: reg.register(Layer::MapReduce, "task_failures"),
             jobs_finished: reg.register(Layer::MapReduce, "jobs_finished"),
+            sched_node_local: reg.register(Layer::MapReduce, "sched_node_local"),
+            sched_rack_local: reg.register(Layer::MapReduce, "sched_rack_local"),
+            sched_site_local: reg.register(Layer::MapReduce, "sched_site_local"),
+            sched_remote: reg.register(Layer::MapReduce, "sched_remote"),
             flows_active: reg.register(Layer::Net, "flows_active"),
             flows_done: reg.register(Layer::Net, "flows_done"),
             job_secs: reg.register_histogram(
@@ -455,7 +463,8 @@ impl Cluster {
         self.slots_of.insert(node, (m, r));
         self.net.register_node(node, self.topo.site_of(node));
         self.nn.register_datanode(now, node);
-        self.jt.register_tracker(now, node, m, r);
+        self.jt
+            .register_tracker(now, node, self.topo.site_of(node), m, r);
     }
 
     /// Stagger heartbeats so 1000 nodes don't tick in the same
@@ -1504,6 +1513,7 @@ impl Cluster {
         let reported = self.jt.reported_live();
         let missing = self.missing_input_blocks();
         let flows_active = self.flows.len();
+        let jtc = self.jt.counters();
         let m = self.obs_metrics.as_mut().unwrap();
         m.reg.set(m.pool_usable, usable as f64);
         m.reg.set(m.pool_reported, reported as f64);
@@ -1515,6 +1525,10 @@ impl Cluster {
         m.reg.set(m.reduces_done, sig.reduces_done as f64);
         m.reg.set(m.task_failures, sig.task_failures as f64);
         m.reg.set(m.jobs_finished, sig.jobs_finished as f64);
+        m.reg.set(m.sched_node_local, jtc.node_local as f64);
+        m.reg.set(m.sched_rack_local, jtc.rack_local as f64);
+        m.reg.set(m.sched_site_local, jtc.site_local as f64);
+        m.reg.set(m.sched_remote, jtc.remote as f64);
         m.reg.set(m.flows_active, flows_active as f64);
         m.reg.set(m.flows_done, sig.flows_finished as f64);
         m.reg.snapshot(now);
@@ -1684,7 +1698,8 @@ impl Cluster {
                     }
                     if !self.jt.tracker_live(n) {
                         let (m, r) = self.slots_of.get(&n).copied().unwrap_or((1, 1));
-                        self.jt.register_tracker(sched.now(), n, m, r);
+                        self.jt
+                            .register_tracker(sched.now(), n, self.topo.site_of(n), m, r);
                     }
                 }
                 self.arm_net(sched);

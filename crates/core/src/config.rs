@@ -3,7 +3,7 @@
 use hog_chaos::FaultPlan;
 use hog_grid::{GridParams, SiteConfig};
 use hog_hdfs::HdfsConfig;
-use hog_mapreduce::MrParams;
+use hog_mapreduce::{MrParams, SchedPolicy};
 use hog_net::NetParams;
 use hog_obs::{ObsOptions, TraceMode};
 use hog_sim_core::units::GIB;
@@ -267,6 +267,14 @@ impl ClusterConfig {
     /// Multi-copy task execution (X6): run every task as `k` eager copies.
     pub fn with_task_copies(mut self, k: u8, eager: bool) -> Self {
         self.mr = self.mr.with_task_copies(k, eager);
+        self
+    }
+
+    /// Select the slot-assignment policy (hog-sched): FIFO (stock
+    /// Hadoop, the default), fair sharing with delay scheduling, or
+    /// failure-aware placement.
+    pub fn with_scheduler(mut self, policy: SchedPolicy) -> Self {
+        self.mr = self.mr.with_scheduler(policy);
         self
     }
 

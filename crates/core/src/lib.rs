@@ -44,3 +44,4 @@ pub use hog_chaos as chaos;
 pub use hog_obs as obs;
 pub use config::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, ZombieConfig};
 pub use driver::{run_workload, JobOutcome, RunResult};
+pub use hog_mapreduce::SchedPolicy;

@@ -1,5 +1,6 @@
 //! MapReduce runtime parameters.
 
+use hog_sched::SchedPolicy;
 use hog_sim_core::units::{mib_per_s, GIB};
 use hog_sim_core::SimDuration;
 
@@ -55,6 +56,9 @@ pub struct MrParams {
     pub disk_read_rate: f64,
     /// Sequential write rate of the worker-local disk (map spill).
     pub disk_write_rate: f64,
+    /// Slot-assignment policy (stock Hadoop FIFO by default; see
+    /// `hog-sched` for the fair and failure-aware alternatives).
+    pub sched: SchedPolicy,
 }
 
 impl MrParams {
@@ -78,6 +82,7 @@ impl MrParams {
             scratch_capacity: 20 * GIB,
             disk_read_rate: mib_per_s(90.0),
             disk_write_rate: mib_per_s(70.0),
+            sched: SchedPolicy::Fifo,
         }
     }
 
@@ -106,6 +111,12 @@ impl MrParams {
     /// Builder: toggle speculation.
     pub fn with_speculation(mut self, on: bool) -> Self {
         self.speculative_enabled = on;
+        self
+    }
+
+    /// Builder: slot-assignment policy.
+    pub fn with_scheduler(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
         self
     }
 

@@ -153,9 +153,19 @@ pub struct JobState {
     /// Shuffle-fetch failures per completed map ("too many fetch failures"
     /// re-executes the map).
     pub map_fetch_failures: HashMap<u32, u8>,
-    /// Last unsuccessful speculation scan (rate-limits the O(tasks) scan
-    /// so idle heartbeats stay cheap at 1000+ nodes).
+    /// Last unsuccessful speculation scan (rate-limits the scan so idle
+    /// heartbeats stay cheap at 1000+ nodes).
     pub spec_last_scan: SimTime,
+    /// Every running attempt, ordered by start instant — the speculation
+    /// scan walks this oldest-first and stops at the first attempt too
+    /// young to be a straggler, the same bucketed-queue trick the
+    /// Namenode uses for under-replication. Keys are
+    /// `(started, kind, task index, attempt ordinal)`.
+    pub running_by_start: BTreeSet<(SimTime, TaskKind, u32, u8)>,
+    /// Currently running map attempts (fair-share accounting).
+    pub running_maps: u32,
+    /// Currently running reduce attempts.
+    pub running_reduces: u32,
     /// Earliest instant a failed task may be retried (retry backoff),
     /// keyed by (kind, index).
     pub retry_after: HashMap<(TaskKind, u32), SimTime>,
@@ -187,6 +197,9 @@ impl JobState {
             tracker_failures: HashMap::new(),
             map_fetch_failures: HashMap::new(),
             spec_last_scan: SimTime::ZERO,
+            running_by_start: BTreeSet::new(),
+            running_maps: 0,
+            running_reduces: 0,
             retry_after: HashMap::new(),
             scratch_by_node: HashMap::new(),
             map_duration_stats: (0.0, 0),
@@ -226,6 +239,34 @@ impl JobState {
         match t.kind {
             TaskKind::Map => &mut self.maps[t.index as usize],
             TaskKind::Reduce => &mut self.reduces[t.index as usize],
+        }
+    }
+
+    /// Currently running attempts of one kind (kept incrementally; feeds
+    /// the fair scheduler's load view).
+    pub fn running_of(&self, kind: TaskKind) -> u32 {
+        match kind {
+            TaskKind::Map => self.running_maps,
+            TaskKind::Reduce => self.running_reduces,
+        }
+    }
+
+    /// Record an attempt entering `Running`: index it for the speculation
+    /// scan and bump the per-kind running count.
+    pub fn note_attempt_started(&mut self, kind: TaskKind, index: u32, attempt: u8, started: SimTime) {
+        self.running_by_start.insert((started, kind, index, attempt));
+        match kind {
+            TaskKind::Map => self.running_maps += 1,
+            TaskKind::Reduce => self.running_reduces += 1,
+        }
+    }
+
+    /// Record an attempt leaving `Running` (succeeded, failed or killed).
+    pub fn note_attempt_stopped(&mut self, kind: TaskKind, index: u32, attempt: u8, started: SimTime) {
+        self.running_by_start.remove(&(started, kind, index, attempt));
+        match kind {
+            TaskKind::Map => self.running_maps = self.running_maps.saturating_sub(1),
+            TaskKind::Reduce => self.running_reduces = self.running_reduces.saturating_sub(1),
         }
     }
 

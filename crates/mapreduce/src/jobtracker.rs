@@ -1,5 +1,13 @@
-//! The JobTracker: FIFO + locality scheduling, speculation, shuffle
-//! coordination, tracker liveness and failure handling.
+//! The JobTracker: slot assignment (policy-driven via [`hog_sched`]),
+//! speculation, shuffle coordination, tracker liveness and failure
+//! handling.
+//!
+//! All scheduling *mechanism* lives here — task tables, locality
+//! indices, slot accounting, the speculation index. The *choices* (job
+//! order, locality gating, node admission) are delegated to the
+//! [`Scheduler`] policy selected by [`MrParams::sched`]; the default
+//! [FIFO policy](hog_sched::FifoSched) reproduces stock Hadoop (and the
+//! pre-trait JobTracker) bit-for-bit.
 
 use crate::config::MrParams;
 use crate::job::{
@@ -9,23 +17,14 @@ use crate::shuffle::{FetchOrder, ReducePlan};
 use crate::tracker::{TrackerLiveness, TrackerState};
 use crate::AttemptRef;
 use hog_hdfs::BlockId;
-use hog_net::{NodeId, SiteId, Topology};
+use hog_net::{NodeId, RackId, SiteId, Topology};
 use hog_obs::{Layer, TraceEvent, Tracer};
+use hog_sched::{Gate, JobSnapshot, Scheduler, SlotKind};
 use hog_sim_core::metrics::Counter;
 use hog_sim_core::{SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Locality level of a map assignment (paper §III-B.2: node → site →
-/// remote).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Locality {
-    /// Input block has a replica on the assigned node.
-    NodeLocal,
-    /// A replica lives in the same site.
-    SiteLocal,
-    /// Input must cross the WAN.
-    Remote,
-}
+pub use hog_sched::Locality;
 
 /// A task handed to a tasktracker on heartbeat.
 #[derive(Clone, Debug, PartialEq)]
@@ -129,9 +128,11 @@ pub struct MapDoneOutput {
 }
 
 /// Per-job locality index: static split locations, as Hadoop caches them
-/// at submission.
+/// at submission. The rack tier is consulted only by rack-aware policies
+/// ([`Scheduler::rack_aware`]).
 struct LocalityIndex {
     by_node: HashMap<NodeId, Vec<u32>>,
+    by_rack: HashMap<RackId, Vec<u32>>,
     by_site: HashMap<SiteId, Vec<u32>>,
 }
 
@@ -140,6 +141,9 @@ struct LocalityIndex {
 pub struct JtCounters {
     /// Map assignments at each locality level.
     pub node_local: u64,
+    /// Rack-local map assignments (always 0 under FIFO, whose ladder has
+    /// no rack rung).
+    pub rack_local: u64,
     /// Site-local map assignments.
     pub site_local: u64,
     /// Remote map assignments.
@@ -159,11 +163,13 @@ pub struct JobTracker {
     cfg: MrParams,
     jobs: Vec<JobState>,
     locality: Vec<LocalityIndex>,
-    /// Incomplete jobs in submission order (FIFO policy).
+    /// Incomplete jobs in submission order (the queue policies reorder).
     fifo: Vec<JobId>,
     trackers: BTreeMap<NodeId, TrackerState>,
     /// Reduce attempts that returned `StartSort` already.
     sorting: HashSet<AttemptRef>,
+    /// The slot-assignment policy (chosen by [`MrParams::sched`]).
+    sched: Box<dyn Scheduler>,
     rng: SimRng,
     counters: JtCounters,
     _spec_counter: Counter,
@@ -192,15 +198,17 @@ impl FailReason {
 }
 
 impl JobTracker {
-    /// A JobTracker with the given parameters.
+    /// A JobTracker with the given parameters; the slot-assignment policy
+    /// comes from [`MrParams::sched`].
     pub fn new(cfg: MrParams, rng: SimRng) -> Self {
         JobTracker {
-            cfg,
             jobs: Vec::new(),
             locality: Vec::new(),
             fifo: Vec::new(),
             trackers: BTreeMap::new(),
             sorting: HashSet::new(),
+            sched: hog_sched::build(cfg.sched),
+            cfg,
             rng,
             counters: JtCounters::default(),
             _spec_counter: Counter::new(),
@@ -223,16 +231,35 @@ impl JobTracker {
         self.counters
     }
 
+    /// Name of the active slot-assignment policy.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Incomplete jobs in submission order (the raw queue the policy
+    /// reorders; exposed for tests and oracles).
+    pub fn job_queue(&self) -> &[JobId] {
+        &self.fifo
+    }
+
     // ------------------------------------------------------------------
     // Tracker liveness
     // ------------------------------------------------------------------
 
-    /// A tasktracker started on `node`.
-    pub fn register_tracker(&mut self, now: SimTime, node: NodeId, map_slots: u8, reduce_slots: u8) {
+    /// A tasktracker started on `node` (living in `site`).
+    pub fn register_tracker(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        site: SiteId,
+        map_slots: u8,
+        reduce_slots: u8,
+    ) {
         self.trackers.insert(
             node,
             TrackerState::new(map_slots, reduce_slots, self.cfg.scratch_capacity, now),
         );
+        self.sched.on_tracker_registered(node, site, now);
     }
 
     /// The tracker stopped heartbeating (worker preempted cleanly).
@@ -285,6 +312,8 @@ impl JobTracker {
             return notes;
         };
         t.liveness = TrackerLiveness::Dead;
+        self.sched.on_tracker_dead(node, now);
+        let t = self.trackers.get_mut(&node).unwrap();
         let aborted = t.running.len();
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "tracker_dead")
@@ -341,16 +370,23 @@ impl JobTracker {
     pub fn submit_job(&mut self, now: SimTime, spec: JobSubmission, topo: &Topology) -> JobId {
         let id = JobId(self.jobs.len() as u32);
         let mut by_node: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut by_rack: HashMap<RackId, Vec<u32>> = HashMap::new();
         let mut by_site: HashMap<SiteId, Vec<u32>> = HashMap::new();
         for (i, locs) in spec.split_locations.iter().enumerate() {
             for &n in locs {
                 by_node.entry(n).or_default().push(i as u32);
+                by_rack.entry(topo.rack_of(n)).or_default().push(i as u32);
                 by_site.entry(topo.site_of(n)).or_default().push(i as u32);
             }
         }
-        self.locality.push(LocalityIndex { by_node, by_site });
+        self.locality.push(LocalityIndex {
+            by_node,
+            by_rack,
+            by_site,
+        });
         self.jobs.push(JobState::new(spec, now));
         self.fifo.push(id);
+        self.sched.on_job_arrived(id.0, now);
         self.tracer.emit(|| {
             let spec = &self.jobs[id.0 as usize].spec;
             TraceEvent::new(Layer::MapReduce, "job_submit")
@@ -431,6 +467,7 @@ impl JobTracker {
             started: now,
             phase: AttemptPhase::Running,
         });
+        job.note_attempt_started(task.kind, task.index, attempt, now);
         let att = AttemptRef { task, attempt };
         self.trackers.get_mut(&node).unwrap().running.insert(att);
         self.tracer.emit(|| {
@@ -444,9 +481,41 @@ impl JobTracker {
         att
     }
 
+    /// Snapshot the incomplete-job queue and ask the policy for its
+    /// assignment order for one `kind` slot.
+    fn ordered_jobs(&mut self, kind: SlotKind, now: SimTime) -> Vec<u32> {
+        let snaps: Vec<JobSnapshot> = self
+            .fifo
+            .iter()
+            .enumerate()
+            .map(|(queue_pos, &jid)| {
+                let job = &self.jobs[jid.0 as usize];
+                let (pending, running) = match kind {
+                    SlotKind::Map => (job.pending_maps.len() as u32, job.running_maps),
+                    SlotKind::Reduce => (job.pending_reduces.len() as u32, job.running_reduces),
+                };
+                JobSnapshot {
+                    id: jid.0,
+                    queue_pos,
+                    pending,
+                    running,
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(snaps.len());
+        self.sched.job_order(&snaps, kind, now, &mut out);
+        out
+    }
+
     fn assign_map(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Option<Assignment> {
         let site = topo.site_of(node);
-        for &jid in &self.fifo.clone() {
+        if !self.sched.admit(node, site, SlotKind::Map, now) {
+            return None;
+        }
+        let rack = topo.rack_of(node);
+        let rack_aware = self.sched.rack_aware();
+        for jid in self.ordered_jobs(SlotKind::Map, now) {
+            let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
             {
@@ -460,7 +529,9 @@ impl JobTracker {
                 job.pending_maps.contains(m)
                     && job.retry_eligible(TaskKind::Map, *m, now)
             };
-            // Node-local.
+            // Walk the locality ladder: node → (rack) → site → remote.
+            // The rack rung only exists for rack-aware policies; FIFO
+            // keeps the paper's exact three-level ladder.
             let idx = &self.locality[jid.0 as usize];
             let mut pick: Option<(u32, Locality)> = None;
             if let Some(cands) = idx.by_node.get(&node) {
@@ -468,7 +539,13 @@ impl JobTracker {
                     pick = Some((m, Locality::NodeLocal));
                 }
             }
-            // Site-local.
+            if pick.is_none() && rack_aware {
+                if let Some(cands) = idx.by_rack.get(&rack) {
+                    if let Some(&m) = cands.iter().find(|m| ok(m)) {
+                        pick = Some((m, Locality::RackLocal));
+                    }
+                }
+            }
             if pick.is_none() {
                 if let Some(cands) = idx.by_site.get(&site) {
                     if let Some(&m) = cands.iter().find(|m| ok(m)) {
@@ -487,8 +564,15 @@ impl JobTracker {
             let Some((m, locality)) = pick else {
                 continue; // everything pending is cooling down
             };
+            // Delay scheduling: the policy may decline the best level on
+            // offer, leaving the job's tasks pending in the hope that a
+            // better-placed slot heartbeats soon.
+            if self.sched.locality_gate(jid.0, locality, now) == Gate::Defer {
+                continue;
+            }
             match locality {
                 Locality::NodeLocal => self.counters.node_local += 1,
+                Locality::RackLocal => self.counters.rack_local += 1,
                 Locality::SiteLocal => self.counters.site_local += 1,
                 Locality::Remote => self.counters.remote += 1,
             }
@@ -503,6 +587,8 @@ impl JobTracker {
                 index: m,
             };
             let attempt = self.start_attempt(now, task, node);
+            self.sched
+                .on_assigned(jid.0, SlotKind::Map, node, Some(locality), now);
             return Some(Assignment::Map {
                 attempt,
                 block,
@@ -520,7 +606,12 @@ impl JobTracker {
     }
 
     fn assign_reduce(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Option<Assignment> {
-        for &jid in &self.fifo.clone() {
+        let site = topo.site_of(node);
+        if !self.sched.admit(node, site, SlotKind::Reduce, now) {
+            return None;
+        }
+        for jid in self.ordered_jobs(SlotKind::Reduce, now) {
+            let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running
                 || job.blacklisted(node, self.cfg.blacklist_threshold)
@@ -545,6 +636,8 @@ impl JobTracker {
             };
             let attempt = self.start_attempt(now, task, node);
             self.init_reduce_plan(attempt, topo);
+            self.sched
+                .on_assigned(jid.0, SlotKind::Reduce, node, None, now);
             return Some(Assignment::Reduce { attempt });
         }
         if self.cfg.speculative_enabled {
@@ -581,6 +674,12 @@ impl JobTracker {
 
     /// One speculative attempt for a straggling `kind` task, if any
     /// qualifies (paper: task 1/3 slower than average; ≤ 2 copies).
+    ///
+    /// Candidates are found through the job's [`JobState::running_by_start`]
+    /// index — the oldest-first walk stops at the first attempt too young
+    /// to be a straggler, the same bucketed-queue trick the Namenode uses
+    /// for its under-replication scan, so the cost is O(running stragglers)
+    /// rather than O(tasks) per idle heartbeat.
     fn speculate(
         &mut self,
         now: SimTime,
@@ -588,10 +687,21 @@ impl JobTracker {
         kind: TaskKind,
         topo: &Topology,
     ) -> Option<Assignment> {
-        // Rate-limit unsuccessful scans: an O(tasks) sweep per idle
-        // heartbeat would dominate at 1000+ nodes.
+        // Rate-limit unsuccessful scans so repeated idle heartbeats within
+        // the same instant's window stay cheap.
         const SCAN_COOLDOWN: SimDuration = SimDuration::from_secs(5);
-        for &jid in &self.fifo.clone() {
+        if !self
+            .sched
+            .allow_speculation(node, topo.site_of(node), now)
+        {
+            return None;
+        }
+        let slot_kind = match kind {
+            TaskKind::Map => SlotKind::Map,
+            TaskKind::Reduce => SlotKind::Reduce,
+        };
+        for jid in self.ordered_jobs(slot_kind, now) {
+            let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
             {
@@ -619,21 +729,43 @@ impl JobTracker {
                 TaskKind::Map => &job.maps,
                 TaskKind::Reduce => &job.reduces,
             };
-            let candidate = tasks.iter().enumerate().find(|(_, t)| {
+            // Walk running attempts oldest-first. An attempt qualifies its
+            // task when it is older than the straggler threshold and not on
+            // the heartbeating node; a task is a candidate when *all* its
+            // running attempts qualify. Attempts younger than the threshold
+            // are never reached (the walk breaks), so their tasks fall
+            // short of the all-running-attempts-old bar exactly as in the
+            // pre-index linear scan.
+            let mut old_ok: BTreeMap<u32, usize> = BTreeMap::new();
+            let mut on_node: HashSet<u32> = HashSet::new();
+            for &(started, k, index, attempt) in &job.running_by_start {
+                let young = !self.cfg.eager_copies
+                    && now.saturating_since(started).as_secs_f64() <= threshold;
+                if young {
+                    break; // later entries started even more recently
+                }
+                if k != kind {
+                    continue;
+                }
+                let a = &tasks[index as usize].attempts[attempt as usize];
+                debug_assert_eq!(a.phase, AttemptPhase::Running);
+                if a.node == node {
+                    on_node.insert(index);
+                } else {
+                    *old_ok.entry(index).or_insert(0) += 1;
+                }
+            }
+            let candidate = old_ok.iter().find_map(|(&index, &qualifying)| {
+                let t = &tasks[index as usize];
                 let running = t.running_attempts();
-                !t.done
+                (!t.done
                     && running >= 1
                     && running < max_copies
-                    && t.attempts
-                        .iter()
-                        .filter(|a| a.phase == AttemptPhase::Running)
-                        .all(|a| {
-                            a.node != node
-                                && (self.cfg.eager_copies
-                                    || now.saturating_since(a.started).as_secs_f64() > threshold)
-                        })
+                    && !on_node.contains(&index)
+                    && qualifying == running)
+                    .then_some(index as usize)
             });
-            let Some((index, _)) = candidate else {
+            let Some(index) = candidate else {
                 self.jobs[jid.0 as usize].spec_last_scan = now;
                 continue;
             };
@@ -656,17 +788,22 @@ impl JobTracker {
                     let spec = &self.jobs[jid.0 as usize].spec;
                     let (block, input_bytes) = spec.input_blocks[index];
                     self.counters.remote += 1;
-                    Assignment::Map {
+                    let a = Assignment::Map {
                         attempt,
                         block,
                         input_bytes,
                         cpu_secs: spec.map_cpu_secs,
                         output_bytes: spec.map_output_bytes,
                         locality: Locality::Remote,
-                    }
+                    };
+                    self.sched
+                        .on_assigned(jid.0, SlotKind::Map, node, Some(Locality::Remote), now);
+                    a
                 }
                 TaskKind::Reduce => {
                     self.init_reduce_plan(attempt, topo);
+                    self.sched
+                        .on_assigned(jid.0, SlotKind::Reduce, node, None, now);
                     Assignment::Reduce { attempt }
                 }
             });
@@ -720,9 +857,11 @@ impl JobTracker {
             let a = &mut ts.attempts[att.attempt as usize];
             a.phase = AttemptPhase::Succeeded;
             let node = a.node;
+            let started = a.started;
             let dur = now.saturating_since(a.started).as_secs_f64();
             ts.done = true;
             ts.completed_on = Some(node);
+            job.note_attempt_stopped(att.task.kind, att.task.index, att.attempt, started);
             job.maps_done += 1;
             job.map_duration_stats.0 += dur;
             job.map_duration_stats.1 += 1;
@@ -774,7 +913,7 @@ impl JobTracker {
                 .with("job", jid.0)
                 .with("ok", true)
         });
-        self.retire_job(jid);
+        self.retire_job(now, jid);
         vec![JtNote::JobCompleted { job: jid }]
     }
 
@@ -783,14 +922,15 @@ impl JobTracker {
         let mut notes = Vec::new();
         let job = &mut self.jobs[att.task.job.0 as usize];
         let ts = job.task_mut(att.task);
-        let mut to_kill: Vec<(u8, NodeId)> = Vec::new();
+        let mut to_kill: Vec<(u8, NodeId, SimTime)> = Vec::new();
         for (i, a) in ts.attempts.iter_mut().enumerate() {
             if i as u8 != att.attempt && a.phase == AttemptPhase::Running {
                 a.phase = AttemptPhase::Killed;
-                to_kill.push((i as u8, a.node));
+                to_kill.push((i as u8, a.node, a.started));
             }
         }
-        for (i, node) in to_kill {
+        for (i, node, started) in to_kill {
+            job.note_attempt_stopped(att.task.kind, att.task.index, i, started);
             let sibling = AttemptRef {
                 task: att.task,
                 attempt: i,
@@ -828,6 +968,7 @@ impl JobTracker {
             let job = &mut self.jobs[att.task.job.0 as usize];
             *job.tracker_failures.entry(node).or_insert(0) += 1;
         }
+        self.sched.on_attempt_failed(att.task.job.0, node, now);
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "attempt_fail")
                 .with("job", att.task.job.0)
@@ -869,11 +1010,13 @@ impl JobTracker {
         } else {
             AttemptPhase::Killed
         };
+        let started = a.started;
         if blame {
             ts.failures += 1;
         }
         let exhausted = blame && ts.failures >= max_attempts;
         let still_running = ts.running_attempts() > 0;
+        job.note_attempt_stopped(att.task.kind, att.task.index, att.attempt, started);
         if let Some(t) = self.trackers.get_mut(&node) {
             t.running.remove(&att);
         }
@@ -881,7 +1024,7 @@ impl JobTracker {
         self.jobs[jid.0 as usize].reduce_plans.remove(&att);
         self.sorting.remove(&att);
         if exhausted {
-            notes.extend(self.fail_job(jid));
+            notes.extend(self.fail_job(now, jid));
             return notes;
         }
         if !still_running && !self.jobs[jid.0 as usize].task(att.task).done {
@@ -904,7 +1047,7 @@ impl JobTracker {
         notes
     }
 
-    fn fail_job(&mut self, jid: JobId) -> Vec<JtNote> {
+    fn fail_job(&mut self, now: SimTime, jid: JobId) -> Vec<JtNote> {
         let mut notes = Vec::new();
         self.counters.jobs_failed += 1;
         self.tracer.emit(|| {
@@ -941,6 +1084,11 @@ impl JobTracker {
             }
         }
         job.reduce_plans.clear();
+        // Every running attempt was just killed: the running index and
+        // counts empty wholesale.
+        job.running_by_start.clear();
+        job.running_maps = 0;
+        job.running_reduces = 0;
         for (att, node) in to_kill {
             if let Some(t) = self.trackers.get_mut(&node) {
                 t.running.remove(&att);
@@ -948,13 +1096,14 @@ impl JobTracker {
             self.sorting.remove(&att);
             notes.push(JtNote::KillAttempt { attempt: att, node });
         }
-        self.retire_job(jid);
+        self.retire_job(now, jid);
         notes.push(JtNote::JobFailed { job: jid });
         notes
     }
 
-    /// Free the job's scratch space everywhere and drop it from the FIFO.
-    fn retire_job(&mut self, jid: JobId) {
+    /// Free the job's scratch space everywhere, drop it from the queue
+    /// and tell the policy.
+    fn retire_job(&mut self, now: SimTime, jid: JobId) {
         let scratch = std::mem::take(&mut self.jobs[jid.0 as usize].scratch_by_node);
         for (node, bytes) in scratch {
             if let Some(t) = self.trackers.get_mut(&node) {
@@ -962,6 +1111,7 @@ impl JobTracker {
             }
         }
         self.fifo.retain(|&j| j != jid);
+        self.sched.on_job_removed(jid.0, now);
     }
 
     // ------------------------------------------------------------------
@@ -1091,9 +1241,11 @@ impl JobTracker {
             let a = &mut ts.attempts[att.attempt as usize];
             a.phase = AttemptPhase::Succeeded;
             let node = a.node;
+            let started = a.started;
             let dur = now.saturating_since(a.started).as_secs_f64();
             ts.done = true;
             ts.completed_on = Some(node);
+            job.note_attempt_stopped(att.task.kind, att.task.index, att.attempt, started);
             job.reduces_done += 1;
             job.reduce_duration_stats.0 += dur;
             job.reduce_duration_stats.1 += 1;
@@ -1131,7 +1283,7 @@ impl JobTracker {
                     .with("job", jid.0)
                     .with("ok", true)
             });
-            self.retire_job(jid);
+            self.retire_job(now, jid);
             return vec![JtNote::JobCompleted { job: jid }];
         }
         Vec::new()
@@ -1204,6 +1356,61 @@ impl hog_sim_core::Auditable for JobTracker {
                     ),
                 ));
             }
+        }
+        // The per-job running-attempt index must mirror the task tables:
+        // every indexed entry is a live Running attempt, and the per-kind
+        // counts match a full recount.
+        for (&jid, job) in self
+            .fifo
+            .iter()
+            .map(|jid| (jid, &self.jobs[jid.0 as usize]))
+        {
+            let mut maps = 0u32;
+            let mut reduces = 0u32;
+            for &(started, kind, index, attempt) in &job.running_by_start {
+                let tasks = match kind {
+                    TaskKind::Map => &job.maps,
+                    TaskKind::Reduce => &job.reduces,
+                };
+                match tasks
+                    .get(index as usize)
+                    .and_then(|t| t.attempts.get(attempt as usize))
+                {
+                    Some(a) if a.phase == AttemptPhase::Running && a.started == started => {
+                        match kind {
+                            TaskKind::Map => maps += 1,
+                            TaskKind::Reduce => reduces += 1,
+                        }
+                    }
+                    _ => out.push(Violation::new(
+                        "mapreduce",
+                        format!(
+                            "job {} running index holds stale {} task {index} attempt {attempt}",
+                            jid.0,
+                            kind.as_str()
+                        ),
+                    )),
+                }
+            }
+            let actual_maps: u32 = job.maps.iter().map(|t| t.running_attempts() as u32).sum();
+            let actual_reduces: u32 = job
+                .reduces
+                .iter()
+                .map(|t| t.running_attempts() as u32)
+                .sum();
+            if (maps, reduces) != (actual_maps, actual_reduces)
+                || (job.running_maps, job.running_reduces) != (actual_maps, actual_reduces)
+            {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "job {} running index out of sync: indexed {maps}m/{reduces}r, counted {}m/{}r, tables {actual_maps}m/{actual_reduces}r",
+                        jid.0, job.running_maps, job.running_reduces
+                    ),
+                ));
+            }
+        }
+        for (&n, t) in &self.trackers {
             for &att in &t.running {
                 if !self.attempt_active(att) {
                     out.push(Violation::new(

@@ -4,10 +4,13 @@
 //! and one **TaskTracker** per worker node, communicating by heartbeat.
 //! What is modelled (because the paper's results depend on it):
 //!
-//! * **FIFO scheduling with locality levels** — on a tasktracker heartbeat
-//!   the JobTracker hands out map tasks preferring *node-local* input,
-//!   then *site-local* (HOG's site awareness applied to scheduling), then
-//!   remote (§III-B.2).
+//! * **Policy-driven scheduling with locality levels** — on a tasktracker
+//!   heartbeat the JobTracker hands out map tasks preferring *node-local*
+//!   input, then *site-local* (HOG's site awareness applied to
+//!   scheduling), then remote (§III-B.2). Job order, locality gating and
+//!   node admission are delegated to a pluggable [`hog_sched::Scheduler`]
+//!   policy selected by [`MrParams::sched`]; the default FIFO policy
+//!   reproduces stock Hadoop exactly.
 //! * **Speculative execution** — a task running ≥ 1/3 slower than the
 //!   job's average gets a second attempt; at most two copies ever run
 //!   (paper §IV-B; making this configurable for K > 2 is the paper's
@@ -37,6 +40,7 @@ pub mod shuffle;
 pub mod tracker;
 
 pub use config::MrParams;
+pub use hog_sched::SchedPolicy;
 pub use job::{JobId, JobSubmission, TaskKind, TaskRef};
 pub use jobtracker::{Assignment, JobTracker, JtNote, ReduceStep};
 pub use shuffle::FetchOrder;

@@ -72,7 +72,7 @@ impl World {
         cfg.blacklist_threshold = 200;
         let mut jt = JobTracker::new(cfg, SimRng::seed_from_u64(seed));
         for &n in &nodes {
-            jt.register_tracker(SimTime::ZERO, n, 1, 1);
+            jt.register_tracker(SimTime::ZERO, n, topo.site_of(n), 1, 1);
         }
         World {
             jt,
@@ -221,7 +221,7 @@ proptest! {
                         // A fresh registration wipes the dead record and
                         // restores the node's slots, exactly like a
                         // healed partition member reporting back in.
-                        w.jt.register_tracker(w.now, back, 1, 1);
+                        w.jt.register_tracker(w.now, back, w.topo.site_of(back), 1, 1);
                         assert!(w.jt.tracker_live(back), "revived tracker must be live");
                         assert!(
                             w.jt.tracker(back).unwrap().running.is_empty(),

@@ -26,7 +26,7 @@ impl Mini {
         }
         let mut jt = JobTracker::new(cfg, SimRng::seed_from_u64(42));
         for &n in &nodes {
-            jt.register_tracker(SimTime::ZERO, n, 1, 1);
+            jt.register_tracker(SimTime::ZERO, n, topo.site_of(n), 1, 1);
         }
         Mini { jt, topo, nodes }
     }

@@ -29,7 +29,7 @@ pub mod topology;
 pub use fluid::FluidNet;
 pub use params::NetParams;
 pub use static_net::StaticNet;
-pub use topology::{site_domain_of, NodeId, SiteId, Topology};
+pub use topology::{site_domain_of, NodeId, RackId, SiteId, Topology, RACK_SIZE};
 
 use hog_sim_core::{SimDuration, SimTime};
 

@@ -16,6 +16,20 @@ pub struct NodeId(pub u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId(pub u16);
 
+/// A rack within a site: nodes are grouped into racks of [`RACK_SIZE`] in
+/// registration order, so a rack never spans two sites. The id packs the
+/// owning site in the upper half-word and the per-site rack ordinal in the
+/// lower, making it unique across the whole topology.
+///
+/// HOG itself has no rack tier (glideins report only their site), but the
+/// delay-scheduling policy in `hog-sched` wants the classic four-level
+/// locality ladder, so the topology synthesises one deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u32);
+
+/// Number of nodes per synthesised rack (see [`RackId`]).
+pub const RACK_SIZE: u32 = 16;
+
 /// Extract the site-grouping key from a worker hostname, per the paper:
 /// "The worker nodes will be separated depending on the last two groups,
 /// the `site.edu`." Returns `None` for hostnames with fewer than two
@@ -53,6 +67,8 @@ pub struct NodeRecord {
     pub site: SiteId,
     /// Synthesised DNS name (`w17.ucsd.edu`).
     pub hostname: String,
+    /// Synthesised rack within the site (see [`RackId`]).
+    pub rack: RackId,
     /// Whether the node is currently alive (registered and not removed).
     pub alive: bool,
 }
@@ -68,6 +84,7 @@ pub struct Topology {
     nodes: Vec<NodeRecord>,
     by_hostname: HashMap<String, NodeId>,
     per_site_counter: Vec<u64>,
+    per_site_added: Vec<u32>,
 }
 
 impl Topology {
@@ -86,6 +103,7 @@ impl Topology {
             domain: domain.into(),
         });
         self.per_site_counter.push(0);
+        self.per_site_added.push(0);
         id
     }
 
@@ -100,11 +118,15 @@ impl Topology {
     /// Register a new node with an explicit hostname.
     pub fn add_node_named(&mut self, site: SiteId, hostname: String) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        let ordinal = &mut self.per_site_added[site.0 as usize];
+        let rack = RackId((u32::from(site.0) << 16) | (*ordinal / RACK_SIZE));
+        *ordinal += 1;
         self.by_hostname.insert(hostname.clone(), id);
         self.nodes.push(NodeRecord {
             id,
             site,
             hostname,
+            rack,
             alive: true,
         });
         id
@@ -123,6 +145,17 @@ impl Topology {
     /// Whether two nodes share a site — the paper's locality question.
     pub fn same_site(&self, a: NodeId, b: NodeId) -> bool {
         self.site_of(a) == self.site_of(b)
+    }
+
+    /// Rack of a node (dead or alive). Racks are synthesised: [`RACK_SIZE`]
+    /// consecutive registrations within a site share one (see [`RackId`]).
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        self.nodes[node.0 as usize].rack
+    }
+
+    /// Whether two nodes share a synthesised rack (implies same site).
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
     }
 
     /// Whether the node is currently alive.
@@ -222,6 +255,26 @@ mod tests {
         assert_eq!(t.node(n1).hostname, "w1.fnal.gov");
         assert_eq!(t.node(n2).hostname, "w2.fnal.gov");
         assert_eq!(t.resolve("w1.ucsd.edu"), Some(n3));
+    }
+
+    #[test]
+    fn racks_group_within_sites() {
+        let mut t = Topology::new();
+        let a = t.add_site("A", "a.edu");
+        let b = t.add_site("B", "b.edu");
+        let a_nodes: Vec<NodeId> = (0..RACK_SIZE + 2).map(|_| t.add_node(a)).collect();
+        let b0 = t.add_node(b);
+        // First RACK_SIZE nodes in site A share a rack; the next two spill
+        // into a second rack.
+        assert!(t.same_rack(a_nodes[0], a_nodes[RACK_SIZE as usize - 1]));
+        assert!(!t.same_rack(a_nodes[0], a_nodes[RACK_SIZE as usize]));
+        assert!(t.same_rack(a_nodes[RACK_SIZE as usize], a_nodes[RACK_SIZE as usize + 1]));
+        // A rack never spans sites, even for the first node of each.
+        assert!(!t.same_rack(a_nodes[0], b0));
+        // Same rack implies same site.
+        for &n in &a_nodes {
+            assert_eq!(t.site_of(n), a);
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Fair sharing with delay scheduling (Zaharia et al., EuroSys 2010).
+
+use crate::{Gate, JobSnapshot, Locality, Scheduler, SlotKind};
+use hog_sim_core::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Fair sharing plus the D-wait locality heuristic.
+///
+/// **Fair sharing:** slots go to the job with the fewest running tasks of
+/// the slot's kind (ties broken by submission order), instead of strict
+/// FIFO. Small jobs stop queueing behind large ones.
+///
+/// **Delay scheduling:** when the best placement a heartbeat offers a job
+/// is non-local, the job *declines* and keeps its tasks pending, betting
+/// that a better-placed slot frees up within a few heartbeats. A per-job
+/// wait clock starts at the first declined offer; as the wait grows the
+/// job walks down the ladder — after [`FairSched::with_delays`]'
+/// `node_delay` it accepts rack-local, after `+ rack_delay` site-local,
+/// after `+ site_delay` anything. A node-local launch resets the clock
+/// (locality is achievable again); non-local launches leave it running so
+/// an unlucky job does not re-serve its full sentence per task.
+///
+/// This is the only shipped policy that uses the rack rung
+/// ([`Scheduler::rack_aware`] is `true`).
+#[derive(Clone, Debug)]
+pub struct FairSched {
+    node_delay: SimDuration,
+    rack_delay: SimDuration,
+    site_delay: SimDuration,
+    /// Per-job wait-clock start (present = currently waiting).
+    waiting_since: HashMap<u32, SimTime>,
+}
+
+impl FairSched {
+    /// Fair + delay scheduling with default waits tuned for the 3-second
+    /// HOG heartbeat: 6 s to rack-local, 12 s to site-local, 24 s to
+    /// remote.
+    pub fn new() -> Self {
+        FairSched {
+            node_delay: SimDuration::from_secs(6),
+            rack_delay: SimDuration::from_secs(6),
+            site_delay: SimDuration::from_secs(12),
+            waiting_since: HashMap::new(),
+        }
+    }
+
+    /// Override the ladder waits: `node_delay` before rack-local,
+    /// `+ rack_delay` before site-local, `+ site_delay` before remote.
+    pub fn with_delays(
+        mut self,
+        node_delay: SimDuration,
+        rack_delay: SimDuration,
+        site_delay: SimDuration,
+    ) -> Self {
+        self.node_delay = node_delay;
+        self.rack_delay = rack_delay;
+        self.site_delay = site_delay;
+        self
+    }
+
+    /// Total wait required before `level` becomes acceptable.
+    fn required_wait(&self, level: Locality) -> SimDuration {
+        match level {
+            Locality::NodeLocal => SimDuration::ZERO,
+            Locality::RackLocal => self.node_delay,
+            Locality::SiteLocal => self.node_delay + self.rack_delay,
+            Locality::Remote => self.node_delay + self.rack_delay + self.site_delay,
+        }
+    }
+}
+
+impl Default for FairSched {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for FairSched {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn rack_aware(&self) -> bool {
+        true
+    }
+
+    fn job_order(
+        &mut self,
+        jobs: &[JobSnapshot],
+        _kind: SlotKind,
+        _now: SimTime,
+        out: &mut Vec<u32>,
+    ) {
+        let mut order: Vec<(u32, usize, u32)> = jobs
+            .iter()
+            .map(|j| (j.running, j.queue_pos, j.id))
+            .collect();
+        order.sort_unstable();
+        out.extend(order.into_iter().map(|(_, _, id)| id));
+    }
+
+    fn locality_gate(&mut self, job: u32, level: Locality, now: SimTime) -> Gate {
+        if level == Locality::NodeLocal {
+            return Gate::Accept;
+        }
+        let since = *self.waiting_since.entry(job).or_insert(now);
+        if now.saturating_since(since) >= self.required_wait(level) {
+            Gate::Accept
+        } else {
+            Gate::Defer
+        }
+    }
+
+    fn on_assigned(
+        &mut self,
+        job: u32,
+        kind: SlotKind,
+        _node: hog_net::NodeId,
+        locality: Option<Locality>,
+        _now: SimTime,
+    ) {
+        // A node-local map launch proves locality is achievable again:
+        // restart the job's sentence. Reduce launches carry no locality
+        // signal and leave the clock alone.
+        if kind == SlotKind::Map && locality == Some(Locality::NodeLocal) {
+            self.waiting_since.remove(&job);
+        }
+    }
+
+    fn on_job_removed(&mut self, job: u32, _now: SimTime) {
+        self.waiting_since.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hog_net::NodeId;
+
+    fn snap(id: u32, queue_pos: usize, running: u32) -> JobSnapshot {
+        JobSnapshot {
+            id,
+            queue_pos,
+            pending: 5,
+            running,
+        }
+    }
+
+    #[test]
+    fn fewest_running_first_ties_by_submission() {
+        let mut f = FairSched::new();
+        let jobs = [snap(0, 0, 4), snap(1, 1, 1), snap(2, 2, 1), snap(3, 3, 0)];
+        let mut out = Vec::new();
+        f.job_order(&jobs, SlotKind::Map, SimTime::ZERO, &mut out);
+        assert_eq!(out, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn delay_ladder_unlocks_with_wait() {
+        let mut f = FairSched::new().with_delays(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(10),
+        );
+        let t = SimTime::from_secs;
+        // Node-local is always acceptable and does not start the clock.
+        assert_eq!(f.locality_gate(9, Locality::NodeLocal, t(0)), Gate::Accept);
+        // First non-local offer starts the clock and defers.
+        assert_eq!(f.locality_gate(9, Locality::RackLocal, t(0)), Gate::Defer);
+        assert_eq!(f.locality_gate(9, Locality::RackLocal, t(4)), Gate::Defer);
+        assert_eq!(f.locality_gate(9, Locality::RackLocal, t(5)), Gate::Accept);
+        // Worse levels need longer waits.
+        assert_eq!(f.locality_gate(9, Locality::SiteLocal, t(9)), Gate::Defer);
+        assert_eq!(f.locality_gate(9, Locality::SiteLocal, t(10)), Gate::Accept);
+        assert_eq!(f.locality_gate(9, Locality::Remote, t(19)), Gate::Defer);
+        assert_eq!(f.locality_gate(9, Locality::Remote, t(20)), Gate::Accept);
+    }
+
+    #[test]
+    fn node_local_launch_resets_the_clock() {
+        let mut f = FairSched::new();
+        let t = SimTime::from_secs;
+        assert_eq!(f.locality_gate(1, Locality::Remote, t(0)), Gate::Defer);
+        assert_eq!(f.locality_gate(1, Locality::Remote, t(24)), Gate::Accept);
+        // Remote launch leaves the clock running...
+        f.on_assigned(1, SlotKind::Map, NodeId(0), Some(Locality::Remote), t(24));
+        assert_eq!(f.locality_gate(1, Locality::Remote, t(25)), Gate::Accept);
+        // ...but a node-local launch resets it.
+        f.on_assigned(1, SlotKind::Map, NodeId(0), Some(Locality::NodeLocal), t(26));
+        assert_eq!(f.locality_gate(1, Locality::Remote, t(27)), Gate::Defer);
+    }
+}

@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`sim`] (`hog-sim-core`) | DES kernel: clock, event queue, RNG, metrics |
 //! | [`net`] (`hog-net`) | topology + max-min fair fluid network |
+//! | [`sched`] (`hog-sched`) | slot-assignment policies: FIFO, fair+delay, failure-aware |
 //! | [`grid`] (`hog-grid`) | OSG substrate: glideins, preemption, outages |
 //! | [`hdfs`] (`hog-hdfs`) | namenode, datanodes, site-aware placement |
 //! | [`mapreduce`] (`hog-mapreduce`) | JobTracker/TaskTrackers, shuffle |
@@ -41,6 +42,7 @@ pub use hog_hdfs as hdfs;
 pub use hog_mapreduce as mapreduce;
 pub use hog_net as net;
 pub use hog_obs as obs;
+pub use hog_sched as sched;
 pub use hog_sim_core as sim;
 pub use hog_workload as workload;
 
@@ -48,7 +50,7 @@ pub use hog_workload as workload;
 pub mod prelude {
     pub use hog_chaos::{ChaosFailure, Fault, FaultPlan};
     pub use hog_core::driver::{run_workload, JobOutcome, RunResult};
-    pub use hog_core::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig};
+    pub use hog_core::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, SchedPolicy};
     pub use hog_obs::{ObsOptions, TraceLog, TraceMode};
     pub use hog_sim_core::{SimDuration, SimTime};
     pub use hog_workload::SubmissionSchedule;
