@@ -1,0 +1,319 @@
+//! Elastic-pool study (X12): the closed-loop glidein controller against
+//! static pools on the truncated Facebook workload.
+//!
+//! Static tiers hold 40 / 100 / 300 glideins for the whole run (the
+//! operator pre-provisions, as in the paper's §IV-A methodology); the
+//! elastic run starts from the 40-node floor and lets the controller
+//! resize between 40 and 300 from the observed task backlog. The study
+//! question is Table-IV economics: how close does the controller get to
+//! the best static pool's mean job response while consuming fewer
+//! node·hours of grid allocation?
+//!
+//! A second section repeats the comparison under the X11 correlated
+//! preemption-burst plan: the controller must re-grow through the same
+//! churn the bursts inflict, and its failure-aware shrink should avoid
+//! handing nodes back at the blasted sites.
+//!
+//! Usage:
+//!   elastic [--smoke] [--seed S] [--out PATH]
+//!
+//! * `--smoke`    run only the static-100 and elastic tiers (CI gate)
+//! * `--seed S`   cluster seed (default 7; schedule seed is 1000+S)
+//! * `--out PATH` where to write the JSON report (default BENCH_elastic.json)
+//!
+//! The JSON is hand-rolled (no serde in the workspace); schema mirrors
+//! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md X12.
+
+use hog_chaos::{Fault, FaultPlan};
+use hog_core::driver::{run_workload, RunResult};
+use hog_core::ClusterConfig;
+use hog_sim_core::SimDuration;
+use hog_workload::SubmissionSchedule;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Static pool sizes compared against the controller.
+const STATIC_TIERS: [usize; 3] = [40, 100, 300];
+/// Controller bounds for the elastic runs.
+const ELASTIC_MIN: usize = 40;
+const ELASTIC_MAX: usize = 300;
+/// Sites hammered by the burst ablation (same pair as the sched bench).
+const BURST_SITES: [&str; 2] = ["UCSDT2", "AGLT2"];
+
+struct TierReport {
+    label: String,
+    elastic: bool,
+    wall_ms: u64,
+    response_secs: f64,
+    mean_job_secs: f64,
+    jobs_ok: usize,
+    jobs: usize,
+    node_hours: f64,
+    grows: usize,
+    shrinks: usize,
+    peak_target: usize,
+    fingerprint: String,
+}
+
+fn report(label: String, initial: usize, elastic: bool, wall_ms: u64, r: &RunResult) -> TierReport {
+    if std::env::var_os("HOG_ELASTIC_JOBS").is_some() {
+        let t0 = r.workload_start.unwrap_or(hog_sim_core::SimTime::ZERO);
+        for j in &r.jobs {
+            let resp = j
+                .finished
+                .map(|f| f.saturating_since(j.submitted).as_secs_f64())
+                .unwrap_or(-1.0);
+            eprintln!(
+                "JOB {} {} {} {:.0} {:.1} {}",
+                label,
+                j.index,
+                j.maps,
+                j.submitted.saturating_since(t0).as_secs_f64(),
+                resp,
+                j.bin
+            );
+        }
+    }
+    let grows = r.elastic_actions.iter().filter(|&&(_, d)| d > 0).count();
+    let shrinks = r.elastic_actions.len() - grows;
+    // Walk the resize history to find the largest pool the controller
+    // ever asked for (static runs: the fixed tier size).
+    let mut target = initial as i64;
+    let mut peak = target;
+    for &(_, d) in &r.elastic_actions {
+        target += d;
+        peak = peak.max(target);
+    }
+    TierReport {
+        label,
+        elastic,
+        wall_ms,
+        response_secs: r.response_time.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+        mean_job_secs: r.mean_job_response_secs(),
+        jobs_ok: r.jobs_succeeded(),
+        jobs: r.jobs.len(),
+        node_hours: r.area_reported / 3600.0,
+        grows,
+        shrinks,
+        peak_target: peak.max(0) as usize,
+        fingerprint: hog_bench::outcome_fingerprint(r),
+    }
+}
+
+fn run_static(nodes: usize, seed: u64, schedule: &SubmissionSchedule) -> TierReport {
+    let cfg = ClusterConfig::hog(nodes, seed).named(format!("static-{nodes}"));
+    let wall = Instant::now();
+    let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
+    assert!(!r.stopped_early, "static-{nodes} did not finish");
+    report(
+        format!("static-{nodes}"),
+        nodes,
+        false,
+        wall.elapsed().as_millis() as u64,
+        &r,
+    )
+}
+
+fn run_elastic(seed: u64, schedule: &SubmissionSchedule) -> TierReport {
+    let cfg = ClusterConfig::hog(ELASTIC_MIN, seed)
+        .with_elastic(ELASTIC_MIN, ELASTIC_MAX)
+        .named(format!("elastic-{ELASTIC_MIN}-{ELASTIC_MAX}"));
+    let wall = Instant::now();
+    let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
+    assert!(!r.stopped_early, "elastic run did not finish");
+    if std::env::var_os("HOG_ELASTIC_TIMELINE").is_some() {
+        let t0 = r.workload_start.unwrap_or(hog_sim_core::SimTime::ZERO);
+        for &(t, d) in &r.elastic_actions {
+            println!(
+                "    t+{:>6.0}s {:>+4}",
+                t.saturating_since(t0).as_secs_f64(),
+                d
+            );
+        }
+    }
+    report(
+        format!("elastic-{ELASTIC_MIN}-{ELASTIC_MAX}"),
+        ELASTIC_MIN,
+        true,
+        wall.elapsed().as_millis() as u64,
+        &r,
+    )
+}
+
+/// The X11 plan: a 45-victim burst every 5 minutes for ~90 minutes,
+/// alternating between the two target sites.
+fn burst_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for k in 0..18u64 {
+        plan = plan.at(
+            SimDuration::from_secs(300 + k * 300),
+            Fault::PreemptBurst {
+                site: BURST_SITES[(k % 2) as usize].to_string(),
+                count: 45,
+            },
+        );
+    }
+    plan
+}
+
+fn run_burst(elastic: bool, seed: u64, schedule: &SubmissionSchedule) -> TierReport {
+    let label = if elastic {
+        format!("burst-elastic-{ELASTIC_MIN}-{ELASTIC_MAX}")
+    } else {
+        "burst-static-300".to_string()
+    };
+    let mut cfg = ClusterConfig::hog(if elastic { ELASTIC_MIN } else { 300 }, seed)
+        .with_fault_plan(burst_plan())
+        .named(label.clone());
+    if elastic {
+        cfg = cfg.with_elastic(ELASTIC_MIN, ELASTIC_MAX);
+    }
+    let wall = Instant::now();
+    let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
+    assert!(!r.stopped_early, "{label} did not finish");
+    let initial = if elastic { ELASTIC_MIN } else { 300 };
+    report(
+        label,
+        initial,
+        elastic,
+        wall.elapsed().as_millis() as u64,
+        &r,
+    )
+}
+
+fn tier_json(t: &TierReport) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"elastic\": {}, \"wall_ms\": {}, \"response_secs\": {:.3}, \"mean_job_secs\": {:.3}, \"jobs_ok\": {}, \"jobs\": {}, \"node_hours\": {:.1}, \"grows\": {}, \"shrinks\": {}, \"peak_target\": {}, \"fingerprint\": \"{}\"}}",
+        t.label,
+        t.elastic,
+        t.wall_ms,
+        t.response_secs,
+        t.mean_job_secs,
+        t.jobs_ok,
+        t.jobs,
+        t.node_hours,
+        t.grows,
+        t.shrinks,
+        t.peak_target,
+        t.fingerprint
+    )
+}
+
+fn to_json(seed: u64, tiers: &[TierReport], ablation: &[TierReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"elastic\",");
+    let _ = writeln!(s, "  \"workload\": \"facebook_truncated\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    for (key, group) in [("tiers", tiers), ("ablation", ablation)] {
+        let _ = writeln!(s, "  \"{key}\": [");
+        for (i, t) in group.iter().enumerate() {
+            let _ = write!(s, "    {}", tier_json(t));
+            s.push_str(if i + 1 < group.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(if key == "tiers" { "  ],\n" } else { "  ]\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn print_tier(t: &TierReport) {
+    println!(
+        "  {:>22}: resp={:>7.0}s mean_job={:>6.1}s ok={}/{} node_hours={:>8.1} resizes={}+{} peak={} wall={}ms fp={}",
+        t.label,
+        t.response_secs,
+        t.mean_job_secs,
+        t.jobs_ok,
+        t.jobs,
+        t.node_hours,
+        t.grows,
+        t.shrinks,
+        t.peak_target,
+        t.wall_ms,
+        t.fingerprint
+    );
+}
+
+/// The study's pass bar: the controller lands within 10% of the best
+/// static pool's mean job response while spending fewer node·hours.
+fn verdict(tiers: &[TierReport]) -> bool {
+    let Some(el) = tiers.iter().find(|t| t.elastic) else {
+        return true;
+    };
+    let Some(best) = tiers
+        .iter()
+        .filter(|t| !t.elastic)
+        .min_by(|a, b| a.mean_job_secs.total_cmp(&b.mean_job_secs))
+    else {
+        return true;
+    };
+    let bar = best.mean_job_secs * 1.10;
+    let ok = el.mean_job_secs <= bar && el.node_hours < best.node_hours;
+    println!(
+        "  verdict: elastic mean_job={:.1}s vs best static ({}) {:.1}s (bar {:.1}s), node_hours {:.1} vs {:.1} — {}",
+        el.mean_job_secs,
+        best.label,
+        best.mean_job_secs,
+        bar,
+        el.node_hours,
+        best.node_hours,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = hog_bench::arg_usize(&args, "--seed", 7) as u64;
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_elastic.json".to_string());
+
+    let schedule = SubmissionSchedule::facebook_truncated(1000 + seed);
+    println!(
+        "elastic: {} jobs / {} maps / {} reduces, seed {seed}",
+        schedule.len(),
+        schedule.total_maps(),
+        schedule.total_reduces()
+    );
+
+    let mut tiers = Vec::new();
+    for &n in &STATIC_TIERS {
+        if smoke && n != 100 {
+            continue;
+        }
+        let t = run_static(n, seed, &schedule);
+        print_tier(&t);
+        tiers.push(t);
+    }
+    let t = run_elastic(seed, &schedule);
+    print_tier(&t);
+    tiers.push(t);
+    let ok = verdict(&tiers);
+
+    let mut ablation = Vec::new();
+    if !smoke {
+        println!("  -- X11 preemption bursts on {BURST_SITES:?} --");
+        for elastic in [false, true] {
+            let t = run_burst(elastic, seed, &schedule);
+            print_tier(&t);
+            ablation.push(t);
+        }
+    }
+
+    let json = to_json(seed, &tiers, &ablation);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // The smoke tier only compares against static-100, which elastic
+    // legitimately beats on node-hours but not necessarily on response;
+    // only the full sweep enforces the study bar.
+    if !smoke && !ok {
+        eprintln!("elastic: controller missed the study bar (see verdict above)");
+        std::process::exit(1);
+    }
+}

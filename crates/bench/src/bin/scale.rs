@@ -48,47 +48,11 @@ struct TierReport {
     fingerprint: String,
 }
 
-/// FNV-1a over the outcome-defining facts of a run: anything the
-/// simulation *produces* (job completion instants, locality, replication
-/// counters) but nothing about how the host computed it — deliberately
-/// excluding the engine event count, which legitimately shrinks when the
-/// mediator dedups redundant NetTick arms without changing any outcome.
+/// Outcome fingerprint, shared with the sched and elastic benches (the
+/// canonical format lives in `hog_bench` so every baseline stays
+/// comparable).
 fn fingerprint(r: &RunResult) -> String {
-    let mut canon = String::new();
-    let _ = write!(
-        canon,
-        "resp={:?};ok={};",
-        r.response_time.map(|d| d.as_millis()),
-        r.jobs_succeeded()
-    );
-    for j in &r.jobs {
-        let _ = write!(
-            canon,
-            "j{}={:?}/{};",
-            j.index,
-            j.finished.map(|t| t.as_millis()),
-            j.succeeded
-        );
-    }
-    let _ = write!(
-        canon,
-        "jt={},{},{},{},{};nn={},{},{},{}",
-        r.jt.node_local,
-        r.jt.site_local,
-        r.jt.remote,
-        r.jt.speculative,
-        r.jt.failures,
-        r.nn_counters.0,
-        r.nn_counters.1,
-        r.nn_counters.2,
-        r.nn_counters.3
-    );
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in canon.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    format!("{h:016x}")
+    hog_bench::outcome_fingerprint(r)
 }
 
 fn run_tier(nodes: usize, seed: u64, schedule: &SubmissionSchedule) -> TierReport {

@@ -12,12 +12,16 @@
 //! learns the sites' reliability scores and routes work around them).
 //!
 //! Usage:
-//!   sched [--smoke] [--ablation] [--seed S] [--out PATH]
+//!   sched [--smoke] [--ablation] [--seed S] [--out PATH] [--check BASELINE]
 //!
-//! * `--smoke`    run only the 100-node stable tier (CI-friendly)
-//! * `--ablation` run only the X11 burst ablation
-//! * `--seed S`   cluster seed (default 7; schedule seed is 1000+S)
-//! * `--out PATH` where to write the JSON report (default BENCH_sched.json)
+//! * `--smoke`          run only the 100-node stable tier (CI-friendly)
+//! * `--ablation`       run only the X11 burst ablation
+//! * `--seed S`         cluster seed (default 7; schedule seed is 1000+S)
+//! * `--out PATH`       where to write the JSON report (default BENCH_sched.json)
+//! * `--check BASELINE` compare each shared cell's outcome fingerprint
+//!   against a previously written report (BENCH_sched.baseline.json in
+//!   CI) and exit non-zero on any mismatch — the sweep is deterministic,
+//!   so a changed fingerprint means the simulated outcome changed
 //!
 //! The JSON is hand-rolled (no serde in the workspace); the schema mirrors
 //! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md.
@@ -67,6 +71,8 @@ struct CellReport {
     remote: u64,
     speculative: u64,
     failures: u64,
+    fairness: f64,
+    fingerprint: String,
 }
 
 impl CellReport {
@@ -81,7 +87,26 @@ impl CellReport {
     }
 }
 
-fn cell_from(policy: SchedPolicy, nodes: usize, churn: &'static str, wall_ms: u64, r: &RunResult) -> CellReport {
+/// Time-weighted mean of the `mapreduce/fairness_jain` gauge over the
+/// workload window (1.0 when metrics are off or nothing was recorded).
+fn mean_fairness(r: &RunResult) -> f64 {
+    let Some(reg) = &r.metrics else { return 1.0 };
+    let Some(s) = reg.find("mapreduce/fairness_jain") else {
+        return 1.0;
+    };
+    match (r.workload_start, r.response_time) {
+        (Some(start), Some(resp)) if resp.as_millis() > 0 => s.mean_over(start, start + resp),
+        _ => s.last_value(),
+    }
+}
+
+fn cell_from(
+    policy: SchedPolicy,
+    nodes: usize,
+    churn: &'static str,
+    wall_ms: u64,
+    r: &RunResult,
+) -> CellReport {
     CellReport {
         policy,
         nodes,
@@ -97,6 +122,8 @@ fn cell_from(policy: SchedPolicy, nodes: usize, churn: &'static str, wall_ms: u6
         remote: r.jt.remote,
         speculative: r.jt.speculative,
         failures: r.jt.failures,
+        fairness: mean_fairness(r),
+        fingerprint: hog_bench::outcome_fingerprint(r),
     }
 }
 
@@ -110,6 +137,7 @@ fn run_cell(
 ) -> CellReport {
     let mut cfg = ClusterConfig::hog(nodes, seed)
         .with_scheduler(policy)
+        .with_metrics()
         .named(format!("sched-{}-{nodes}-{churn}", policy.as_str()));
     if let Some(secs) = lifetime {
         cfg = cfg.with_mean_lifetime(SimDuration::from_secs(secs));
@@ -145,6 +173,7 @@ fn run_burst(policy: SchedPolicy, seed: u64, schedule: &SubmissionSchedule) -> C
         .with_scheduler(policy)
         .with_fault_plan(burst_plan())
         .with_audit(true)
+        .with_metrics()
         .named(format!("sched-burst-{}", policy.as_str()));
     let wall = Instant::now();
     let r = run_workload(cfg, schedule, SimDuration::from_secs(100 * 3600));
@@ -153,7 +182,7 @@ fn run_burst(policy: SchedPolicy, seed: u64, schedule: &SubmissionSchedule) -> C
 
 fn cell_json(c: &CellReport) -> String {
     format!(
-        "{{\"policy\": \"{}\", \"nodes\": {}, \"churn\": \"{}\", \"wall_ms\": {}, \"response_secs\": {:.3}, \"mean_job_secs\": {:.3}, \"jobs_ok\": {}, \"jobs\": {}, \"node_local\": {}, \"rack_local\": {}, \"site_local\": {}, \"remote\": {}, \"local_share\": {:.4}, \"speculative\": {}, \"failures\": {}}}",
+        "{{\"policy\": \"{}\", \"nodes\": {}, \"churn\": \"{}\", \"wall_ms\": {}, \"response_secs\": {:.3}, \"mean_job_secs\": {:.3}, \"jobs_ok\": {}, \"jobs\": {}, \"node_local\": {}, \"rack_local\": {}, \"site_local\": {}, \"remote\": {}, \"local_share\": {:.4}, \"speculative\": {}, \"failures\": {}, \"fairness\": {:.4}, \"fingerprint\": \"{}\"}}",
         c.policy.as_str(),
         c.nodes,
         c.churn,
@@ -168,7 +197,9 @@ fn cell_json(c: &CellReport) -> String {
         c.remote,
         c.local_share(),
         c.speculative,
-        c.failures
+        c.failures,
+        c.fairness,
+        c.fingerprint
     )
 }
 
@@ -192,7 +223,7 @@ fn to_json(seed: u64, cells: &[CellReport], ablation: &[CellReport]) -> String {
 
 fn print_cell(c: &CellReport) {
     println!(
-        "  {:>13} {:>4}n {:>6}: resp={:>7.0}s mean_job={:>6.1}s ok={}/{} locality n/r/s/rem={}/{}/{}/{} local={:.1}% spec={} fail={} wall={}ms",
+        "  {:>13} {:>4}n {:>6}: resp={:>7.0}s mean_job={:>6.1}s ok={}/{} locality n/r/s/rem={}/{}/{}/{} local={:.1}% spec={} fail={} jain={:.3} wall={}ms fp={}",
         c.policy.as_str(),
         c.nodes,
         c.churn,
@@ -207,8 +238,78 @@ fn print_cell(c: &CellReport) {
         c.local_share() * 100.0,
         c.speculative,
         c.failures,
-        c.wall_ms
+        c.fairness,
+        c.wall_ms,
+        c.fingerprint
     );
+}
+
+/// Extract `(policy, nodes, churn, fingerprint)` rows from a report
+/// written by [`to_json`] (schema-coupled on purpose; no JSON dep).
+/// Baselines written before fingerprints were recorded yield no rows.
+fn parse_baseline(text: &str) -> Vec<(String, usize, String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"policy\":") {
+            continue;
+        }
+        let str_field = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\": \"");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        };
+        let nodes = line.find("\"nodes\": ").and_then(|i| {
+            let rest = &line[i + "\"nodes\": ".len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse::<usize>().ok()
+        });
+        if let (Some(p), Some(n), Some(c), Some(fp)) = (
+            str_field("policy"),
+            nodes,
+            str_field("churn"),
+            str_field("fingerprint"),
+        ) {
+            out.push((p, n, c, fp));
+        }
+    }
+    out
+}
+
+/// Compare every swept cell present in the baseline by fingerprint;
+/// returns whether any mismatched.
+fn check_cells(cells: &[CellReport], baseline: &[(String, usize, String, String)]) -> bool {
+    let mut failed = false;
+    for c in cells {
+        let Some((_, _, _, fp)) = baseline
+            .iter()
+            .find(|(p, n, ch, _)| *p == c.policy.as_str() && *n == c.nodes && *ch == c.churn)
+        else {
+            continue;
+        };
+        if *fp != c.fingerprint {
+            failed = true;
+            println!(
+                "  check {} {}n {}: fingerprint {} != baseline {} — OUTCOME CHANGED",
+                c.policy.as_str(),
+                c.nodes,
+                c.churn,
+                c.fingerprint,
+                fp
+            );
+        } else {
+            println!(
+                "  check {} {}n {}: fingerprint matches baseline",
+                c.policy.as_str(),
+                c.nodes,
+                c.churn
+            );
+        }
+    }
+    failed
 }
 
 fn main() {
@@ -222,6 +323,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let schedule = SubmissionSchedule::facebook_truncated(1000 + seed);
     println!(
@@ -256,4 +362,20 @@ fn main() {
     let json = to_json(seed, &cells, &ablation);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if let Some(base) = check_path {
+        let text = std::fs::read_to_string(&base)
+            .unwrap_or_else(|e| panic!("cannot read baseline {base}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {base} has no fingerprinted cells"
+        );
+        let mut failed = check_cells(&cells, &baseline);
+        failed |= check_cells(&ablation, &baseline);
+        if failed {
+            eprintln!("sched: outcome fingerprints diverged from {base}");
+            std::process::exit(1);
+        }
+    }
 }

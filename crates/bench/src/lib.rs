@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+use hog_core::driver::RunResult;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Resolve the output directory for benchmark artifacts (CSV files),
@@ -23,6 +25,53 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/paper-results"));
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+/// FNV-1a over the outcome-defining facts of a run: anything the
+/// simulation *produces* (job completion instants, locality, replication
+/// counters) but nothing about how the host computed it — deliberately
+/// excluding the engine event count, which legitimately shrinks when the
+/// mediator dedups redundant NetTick arms without changing any outcome.
+///
+/// Shared by the scale, sched and elastic benchmarks; the canonical
+/// string (and therefore every committed baseline fingerprint) must never
+/// change.
+pub fn outcome_fingerprint(r: &RunResult) -> String {
+    let mut canon = String::new();
+    let _ = write!(
+        canon,
+        "resp={:?};ok={};",
+        r.response_time.map(|d| d.as_millis()),
+        r.jobs_succeeded()
+    );
+    for j in &r.jobs {
+        let _ = write!(
+            canon,
+            "j{}={:?}/{};",
+            j.index,
+            j.finished.map(|t| t.as_millis()),
+            j.succeeded
+        );
+    }
+    let _ = write!(
+        canon,
+        "jt={},{},{},{},{};nn={},{},{},{}",
+        r.jt.node_local,
+        r.jt.site_local,
+        r.jt.remote,
+        r.jt.speculative,
+        r.jt.failures,
+        r.nn_counters.0,
+        r.nn_counters.1,
+        r.nn_counters.2,
+        r.nn_counters.3
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Parse `--threads N` style args with a default.
@@ -40,7 +89,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["x", "--threads", "7"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["x", "--threads", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_usize(&args, "--threads", 3), 7);
         assert_eq!(arg_usize(&args, "--seeds", 3), 3);
     }

@@ -18,7 +18,7 @@
 use crate::config::{ClusterConfig, PlacementKind, ResourceConfig};
 use crate::event::{DoomReason, Event};
 use hog_chaos::{Auditor, ChaosFailure, Fault, ProgressSig, Watchdog};
-use hog_grid::{GridModel, GridNote, LossReason};
+use hog_grid::{ElasticController, ElasticDecision, GridModel, GridNote, LossReason, PoolSnapshot};
 use hog_hdfs::datanode::DnLiveness;
 use hog_hdfs::{
     BlockId, FileId, Namenode, RackAwarePolicy, RackObliviousPolicy, ReplOrder, SiteAwarePolicy,
@@ -34,7 +34,7 @@ use hog_sim_core::metrics::StepSeries;
 use hog_sim_core::units::transfer_secs;
 use hog_sim_core::{SimDuration, SimRng, SimTime, Violation};
 use hog_workload::{JobSpec, SubmissionSchedule};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// What an in-flight network transfer means.
 #[derive(Clone, Debug)]
@@ -145,6 +145,13 @@ struct ObsMetrics {
     sched_remote: MetricId,
     flows_active: MetricId,
     flows_done: MetricId,
+    pool_target: MetricId,
+    pool_outstanding: MetricId,
+    elastic_resizes: MetricId,
+    fairness_jain: MetricId,
+    /// Per-job running-slot share series, registered lazily as jobs are
+    /// submitted (`mapreduce/job<i>_slots`), indexed by `JobId`.
+    job_slots: Vec<MetricId>,
     job_secs: HistogramId,
 }
 
@@ -168,6 +175,11 @@ impl ObsMetrics {
             sched_remote: reg.register(Layer::MapReduce, "sched_remote"),
             flows_active: reg.register(Layer::Net, "flows_active"),
             flows_done: reg.register(Layer::Net, "flows_done"),
+            pool_target: reg.register(Layer::Core, "pool_target"),
+            pool_outstanding: reg.register(Layer::Core, "pool_outstanding"),
+            elastic_resizes: reg.register(Layer::Core, "elastic_resizes"),
+            fairness_jain: reg.register(Layer::MapReduce, "fairness_jain"),
+            job_slots: Vec::new(),
             job_secs: reg.register_histogram(
                 Layer::MapReduce,
                 "job_secs",
@@ -231,6 +243,10 @@ pub struct Cluster {
     adaptive: Option<crate::adaptive::AdaptiveReplication>,
     /// History of adaptive factor changes: (time, factor).
     pub adaptive_changes: Vec<(SimTime, u16)>,
+    /// Elastic pool controller, when `cfg.elastic` is set on a grid run.
+    elastic: Option<ElasticController>,
+    /// History of elastic resizes: (time, signed node delta).
+    pub elastic_actions: Vec<(SimTime, i64)>,
     /// `(map, reduce)` slots each worker registered with (chaos heal
     /// re-registration needs the original values).
     slots_of: HashMap<NodeId, (u8, u8)>,
@@ -306,6 +322,14 @@ impl Cluster {
         jt.set_tracer(tracer.clone());
         let obs_metrics = cfg.obs.metrics.then(ObsMetrics::new);
         let target_nodes = cfg.resource.target_nodes();
+        // The controller only makes sense over a glidein pool; on fixed
+        // clusters an `elastic` config is silently inert.
+        let elastic = cfg.elastic.as_ref().and_then(|ec| match &cfg.resource {
+            ResourceConfig::Grid { params, sites, .. } => {
+                Some(ElasticController::new(ec.clone(), params, sites))
+            }
+            ResourceConfig::Fixed { .. } => None,
+        });
         let n_jobs = schedule.len();
         let cfg2 = cfg.adaptive_replication;
         let chaos_seed = cfg.seed ^ 0x686f_675f_6368_616f; // b"hog_chao"
@@ -344,6 +368,8 @@ impl Cluster {
             target_nodes,
             adaptive: cfg2.map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
             adaptive_changes: Vec::new(),
+            elastic,
+            elastic_actions: Vec::new(),
             slots_of: HashMap::new(),
             partitioned: BTreeSet::new(),
             partition_members: HashMap::new(),
@@ -1415,6 +1441,163 @@ impl Cluster {
         }
     }
 
+    /// One controller step of the elastic feedback loop (tentpole of
+    /// extension X12): observe the task backlog and pool state, let the
+    /// deterministic [`ElasticController`] pick a resize, and apply it
+    /// through the same grid paths an operator's `ResizePool` would use.
+    fn on_elastic_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
+        let decision = {
+            let (Some(ctl), Some(grid)) = (self.elastic.as_mut(), self.grid.as_ref()) else {
+                return;
+            };
+            let b = self.jt.backlog();
+            let snap = PoolSnapshot {
+                reported_live: self.jt.reported_live(),
+                outstanding: grid.outstanding_count(),
+                pending_maps: b.pending_maps,
+                running_maps: b.running_maps,
+                pending_reduces: b.pending_reduces,
+                running_reduces: b.running_reduces,
+                active_jobs: b.active_jobs,
+            };
+            ctl.decide(sched.now(), &snap)
+        };
+        match decision {
+            ElasticDecision::Hold => {}
+            ElasticDecision::Grow(n) => {
+                self.elastic_actions.push((sched.now(), n as i64));
+                self.tracer.emit(|| {
+                    TraceEvent::new(Layer::Core, "elastic_grow")
+                        .with("nodes", n)
+                        .with("target", self.target_nodes + n)
+                });
+                self.on_resize_pool(sched, n as i64);
+            }
+            ElasticDecision::Shrink(n) => {
+                let victims = self.shrink_victims(sched.now(), n);
+                self.elastic_actions.push((sched.now(), -(n as i64)));
+                self.tracer.emit(|| {
+                    TraceEvent::new(Layer::Core, "elastic_shrink")
+                        .with("nodes", n)
+                        .with("eligible", victims.len())
+                });
+                self.on_shrink_preferring(sched, n, &victims);
+            }
+        }
+    }
+
+    /// Rank the running workers the controller may reclaim, most
+    /// expendable first: highest decayed site failure score (hog-sched)
+    /// breaks toward churny sites, newest node id breaks ties. Busy
+    /// trackers and nodes hosting the only live replica of any block are
+    /// excluded outright — reclaiming either converts a voluntary shrink
+    /// into rescheduling churn or data loss.
+    /// Rank release candidates for a shrink of up to `n` nodes: idle
+    /// trackers only, churn-prone sites first. Selection is batch-aware:
+    /// a candidate joins the victim list only if every block it stores
+    /// keeps at least one live replica *outside the list*, so a large
+    /// shrink can never collectively erase a block that each victim
+    /// individually appeared to leave safe.
+    fn shrink_victims(&self, now: SimTime, n: usize) -> Vec<NodeId> {
+        let mut ranked: Vec<(f64, NodeId)> = self
+            .daemons_up
+            .iter()
+            .copied()
+            .filter(|n| !self.zombies.contains(n))
+            .filter(|&n| !self.jt.tracker_busy(n))
+            .map(|n| (self.jt.site_penalty(self.topo.site_of(n), now), n))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
+        let mut victims: Vec<NodeId> = Vec::with_capacity(n);
+        let mut chosen: HashSet<NodeId> = HashSet::new();
+        for (_, node) in ranked {
+            if victims.len() == n {
+                break;
+            }
+            if self.replicas_survive_without(node, &chosen) {
+                chosen.insert(node);
+                victims.push(node);
+            }
+        }
+        victims
+    }
+
+    /// Whether every block on `node` keeps at least one live replica
+    /// after removing `node` and every already-planned victim.
+    fn replicas_survive_without(&self, node: NodeId, planned: &HashSet<NodeId>) -> bool {
+        let Some(dn) = self.nn.datanode(node) else {
+            return true;
+        };
+        dn.blocks.iter().all(|&b| {
+            let meta = self.nn.block(b);
+            meta.expected == 0
+                || meta
+                    .replicas
+                    .iter()
+                    .any(|r| *r != node && !planned.contains(r))
+        })
+    }
+
+    /// Shrink by `n`, but only ever killing nodes from `victims` (the
+    /// grid still cancels queued/in-flight requests first). When fewer
+    /// eligible victims than `n` exist the shrink under-delivers and the
+    /// controller retries after its cooldown.
+    fn on_shrink_preferring(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        n: usize,
+        victims: &[NodeId],
+    ) {
+        let Some(mut grid) = self.grid.take() else {
+            return;
+        };
+        self.target_nodes = self.target_nodes.saturating_sub(n);
+        let out = grid.remove_workers_preferring(sched.now(), n, &mut self.topo, victims);
+        self.grid = Some(grid);
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "pool_resize")
+                .with("delta", -(n as i64))
+                .with("target", self.target_nodes)
+        });
+        for (d, e) in out.defer {
+            sched.after(d, Event::Grid(e));
+        }
+        for note in out.notes {
+            match note {
+                GridNote::NodeStarted { node } => self.on_node_started(node, sched),
+                // The controller picked these nodes, so they retire
+                // gracefully instead of crashing.
+                GridNote::NodeLost {
+                    node,
+                    reason: LossReason::Removed,
+                } => self.on_node_decommissioned(node, sched),
+                GridNote::NodeLost { node, reason } => self.on_node_lost(node, reason, sched),
+            }
+        }
+    }
+
+    /// A controller-initiated release. Unlike [`Cluster::on_node_lost`]
+    /// this is voluntary: the JobTracker is told immediately (no 30 s
+    /// death detector), the adaptive replication monitor does not count
+    /// it as churn, and completed map outputs on the node are not
+    /// proactively re-run — the victim filter only hands over trackers
+    /// whose outputs no unfinished reduce still needs.
+    fn on_node_decommissioned(&mut self, node: NodeId, sched: &mut Scheduler<'_, Event>) {
+        self.daemons_up.remove(&node);
+        self.zombies.remove(&node);
+        self.partitioned.remove(&node);
+        self.straggle.remove(&node);
+        self.slots_of.remove(&node);
+        self.nn.mark_silent(sched.now(), node);
+        let notes = self.jt.decommission_tracker(sched.now(), node);
+        let killed = self.net.remove_node(sched.now(), node);
+        for end in killed {
+            self.on_flow_end(sched, end);
+        }
+        self.arm_net(sched);
+        self.handle_notes(sched, notes);
+    }
+
     /// One balancer iteration: plan moves toward mean utilisation and
     /// execute them as copy-then-drop transfers.
     fn on_balancer_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
@@ -1493,6 +1676,12 @@ impl Cluster {
                 }
             }
         }
+        // Elastic pool controller: only while the workload is actually
+        // running — forming/upload pools stay at the configured target,
+        // and a stalled master can't see the backlog it would act on.
+        if !stalled && self.phase == RunPhase::Running {
+            self.on_elastic_tick(sched);
+        }
         self.run_chaos_supervision(sched.now());
         self.arm_net(sched);
         sched.after(
@@ -1514,7 +1703,35 @@ impl Cluster {
         let missing = self.missing_input_blocks();
         let flows_active = self.flows.len();
         let jtc = self.jt.counters();
+        let target = self.target_nodes;
+        let outstanding = self.grid.as_ref().map_or(0, |g| g.outstanding_count());
+        let resizes = self
+            .elastic
+            .as_ref()
+            .map_or(0, |c| c.resize_counts().0 + c.resize_counts().1);
+        let fairness = self.jt.jain_fairness();
+        let shares: Vec<(JobId, u32)> = self.jt.job_shares().collect();
         let m = self.obs_metrics.as_mut().unwrap();
+        m.reg.set(m.pool_target, target as f64);
+        m.reg.set(m.pool_outstanding, outstanding as f64);
+        m.reg.set(m.elastic_resizes, resizes as f64);
+        m.reg.set(m.fairness_jain, fairness);
+        // Per-job slot shares: register a series the first tick a job id
+        // appears; completed jobs drop out of the share list and read 0.
+        if let Some(max_id) = shares.iter().map(|&(j, _)| j.0 as usize).max() {
+            while m.job_slots.len() <= max_id {
+                let id = m
+                    .reg
+                    .register_owned(Layer::MapReduce, format!("job{}_slots", m.job_slots.len()));
+                m.job_slots.push(id);
+            }
+        }
+        for &id in &m.job_slots {
+            m.reg.set(id, 0.0);
+        }
+        for &(j, s) in &shares {
+            m.reg.set(m.job_slots[j.0 as usize], s as f64);
+        }
         m.reg.set(m.pool_usable, usable as f64);
         m.reg.set(m.pool_reported, reported as f64);
         m.reg.set(m.zombies, zombies as f64);

@@ -1,7 +1,7 @@
 //! Cluster configuration and the paper's two reference systems.
 
 use hog_chaos::FaultPlan;
-use hog_grid::{GridParams, SiteConfig};
+use hog_grid::{ElasticConfig, GridParams, SiteConfig};
 use hog_hdfs::HdfsConfig;
 use hog_mapreduce::{MrParams, SchedPolicy};
 use hog_net::NetParams;
@@ -153,6 +153,11 @@ pub struct ClusterConfig {
     /// Structured tracing and the metrics registry (hog-obs); inert by
     /// default — untraced runs build no events.
     pub obs: ObsOptions,
+    /// Elastic pool controller (hog-grid): when set, a feedback loop on
+    /// the master tick resizes the glidein pool between the configured
+    /// bounds instead of holding it at `resource.target_nodes`. `None`
+    /// (the default) leaves every run byte-identical to a static pool.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl ClusterConfig {
@@ -186,6 +191,7 @@ impl ClusterConfig {
             adaptive_replication: None,
             chaos: ChaosOptions::default(),
             obs: ObsOptions::default(),
+            elastic: None,
         }
     }
 
@@ -221,6 +227,7 @@ impl ClusterConfig {
             adaptive_replication: None,
             chaos: ChaosOptions::default(),
             obs: ObsOptions::default(),
+            elastic: None,
         }
     }
 
@@ -324,6 +331,23 @@ impl ClusterConfig {
         self
     }
 
+    /// Close the glidein feedback loop: resize the pool between `min`
+    /// and `max` nodes based on the observed task backlog (default
+    /// controller tuning). The initial pool target stays whatever the
+    /// resource config says; the controller takes over once the
+    /// workload is running.
+    pub fn with_elastic(mut self, min: usize, max: usize) -> Self {
+        self.elastic = Some(ElasticConfig::new(min, max));
+        self
+    }
+
+    /// Like [`ClusterConfig::with_elastic`], but with full control over
+    /// the controller tuning (benchmarks and ablations).
+    pub fn with_elastic_config(mut self, cfg: ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
+        self
+    }
+
     /// Rename (report labelling).
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -413,7 +437,10 @@ mod tests {
     #[test]
     fn obs_defaults_off_and_builders_arm_it() {
         let plain = ClusterConfig::hog(10, 1);
-        assert!(!plain.obs.active(), "observability must be inert by default");
+        assert!(
+            !plain.obs.active(),
+            "observability must be inert by default"
+        );
         assert!(!ClusterConfig::dedicated(1).obs.active());
         let traced = plain.clone().with_tracing(TraceMode::Full).with_metrics();
         assert!(traced.obs.active());

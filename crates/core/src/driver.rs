@@ -69,6 +69,9 @@ pub struct RunResult {
     pub cluster: ClusterCounters,
     /// Grid counters: (preemptions, outages, node starts).
     pub grid: Option<(u64, u64, u64)>,
+    /// Elastic controller resize history: (time, signed node delta).
+    /// Empty whenever the controller is off.
+    pub elastic_actions: Vec<(SimTime, i64)>,
     /// Wall-clock of the simulation end.
     pub end_time: SimTime,
     /// Events processed.
@@ -230,6 +233,7 @@ pub fn run_workload_with_events(
         missing_input_blocks: cluster.missing_input_blocks(),
         cluster: cluster.counters,
         grid,
+        elastic_actions: cluster.elastic_actions.clone(),
         stuck_jobs,
         end_time: stats.end_time,
         events: stats.events_handled,

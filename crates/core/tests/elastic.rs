@@ -1,0 +1,157 @@
+//! Elastic-controller tests at the full-cluster level: the closed loop
+//! actually resizes the pool, identical elastic runs are bit-identical,
+//! a controller clamped to the static pool size is inert, and the
+//! fairness / pool gauges flow through hog-obs without perturbing the
+//! simulation.
+
+use hog_core::driver::{assert_finished, run_workload, RunResult};
+use hog_core::ClusterConfig;
+use hog_sim_core::SimDuration;
+use hog_workload::facebook::Bin;
+use hog_workload::SubmissionSchedule;
+
+/// A small synthetic workload: `jobs` jobs of `maps`×`reduces`.
+fn tiny_schedule(jobs: u32, maps: u32, reduces: u32, seed: u64) -> SubmissionSchedule {
+    let bin = Bin {
+        number: 1,
+        maps_at_facebook: (maps, maps),
+        fraction_at_facebook: 1.0,
+        maps,
+        jobs_in_benchmark: jobs,
+        reduces,
+    };
+    SubmissionSchedule::from_bins(&[bin], seed)
+}
+
+/// Everything outcome-defining a run produces, for bit-identity checks.
+type Outcome = (Option<u64>, u64, usize, [u64; 6], Vec<(u64, i64)>);
+
+fn outcome(r: &RunResult) -> Outcome {
+    (
+        r.response_time.map(|d| d.as_millis()),
+        r.events,
+        r.jobs_succeeded(),
+        [
+            r.jt.node_local,
+            r.jt.rack_local,
+            r.jt.site_local,
+            r.jt.remote,
+            r.jt.speculative,
+            r.jt.failures,
+        ],
+        r.elastic_actions
+            .iter()
+            .map(|&(t, d)| (t.as_secs_f64().to_bits(), d))
+            .collect(),
+    )
+}
+
+#[test]
+fn controller_grows_an_undersized_pool() {
+    let schedule = tiny_schedule(6, 30, 2, 11);
+    let cfg = ClusterConfig::hog(10, 5).with_elastic(10, 80);
+    let r = run_workload(cfg, &schedule, SimDuration::from_secs(12 * 3600));
+    assert_finished(&r);
+    let grows: i64 = r.elastic_actions.iter().map(|&(_, d)| d.max(0)).sum();
+    assert!(
+        grows > 0,
+        "backlogged pool never grew: {:?}",
+        r.elastic_actions
+    );
+    // Requested pool size stays inside the configured bounds throughout.
+    let mut target = 10i64;
+    for &(_, d) in &r.elastic_actions {
+        target += d;
+        assert!((10..=80).contains(&target), "target {target} out of bounds");
+    }
+}
+
+#[test]
+fn elastic_runs_are_bit_identical() {
+    let run = || {
+        let schedule = tiny_schedule(6, 30, 2, 11);
+        let cfg = ClusterConfig::hog(10, 5).with_elastic(10, 80);
+        run_workload(cfg, &schedule, SimDuration::from_secs(12 * 3600))
+    };
+    let (a, b) = (run(), run());
+    assert_finished(&a);
+    assert_eq!(outcome(&a), outcome(&b), "same-seed elastic runs diverged");
+}
+
+/// With the bounds clamped to the starting size and no churn to repair,
+/// the controller holds on every tick — and a run with the controller
+/// wired in is bit-identical to one without it. This is the cluster-level
+/// version of the scale-bench fingerprint check: the elastic wiring adds
+/// nothing to a run that does not use it.
+#[test]
+fn clamped_controller_is_inert() {
+    let run = |elastic: bool| {
+        let schedule = tiny_schedule(5, 8, 1, 23);
+        let mut cfg =
+            ClusterConfig::hog(14, 9).with_mean_lifetime(SimDuration::from_secs(5_000_000));
+        if elastic {
+            cfg = cfg.with_elastic(14, 14);
+        }
+        run_workload(cfg, &schedule, SimDuration::from_secs(12 * 3600))
+    };
+    let plain = run(false);
+    let clamped = run(true);
+    assert_finished(&plain);
+    assert!(
+        clamped.elastic_actions.is_empty(),
+        "clamped controller acted: {:?}",
+        clamped.elastic_actions
+    );
+    assert_eq!(
+        outcome(&plain),
+        outcome(&clamped),
+        "inert controller changed the simulation"
+    );
+}
+
+/// The fairness index and pool gauges are observation-only: enabling
+/// metrics neither changes outcomes, and the series carry sane values.
+#[test]
+fn fairness_and_pool_gauges_flow_through_obs() {
+    let run = |metrics: bool| {
+        let schedule = tiny_schedule(6, 30, 2, 11);
+        let mut cfg = ClusterConfig::hog(10, 5).with_elastic(10, 80);
+        if metrics {
+            cfg = cfg.with_metrics();
+        }
+        run_workload(cfg, &schedule, SimDuration::from_secs(12 * 3600))
+    };
+    let plain = run(false);
+    let observed = run(true);
+    assert_eq!(
+        outcome(&plain),
+        outcome(&observed),
+        "metrics changed the simulation"
+    );
+    let reg = observed.metrics.expect("metrics registry");
+    let fairness = reg
+        .find("mapreduce/fairness_jain")
+        .expect("fairness series");
+    assert!(
+        fairness
+            .points()
+            .iter()
+            .all(|&(_, v)| (0.0..=1.0).contains(&v)),
+        "Jain index out of [0, 1]"
+    );
+    assert!(
+        fairness.points().iter().any(|&(_, v)| v > 0.0),
+        "fairness never sampled above zero"
+    );
+    let target = reg.find("core/pool_target").expect("pool_target series");
+    assert!(
+        target.points().iter().any(|&(_, v)| v > 10.0),
+        "pool_target never rose above the floor"
+    );
+    // Per-job slot-share series appear once jobs run.
+    assert!(
+        reg.iter_series()
+            .any(|(name, _)| name.starts_with("mapreduce/job") && name.ends_with("_slots")),
+        "no per-job slot-share series registered"
+    );
+}

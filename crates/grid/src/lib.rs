@@ -26,9 +26,11 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod controller;
 pub mod model;
 
 pub use config::{GridParams, SiteConfig};
+pub use controller::{ElasticConfig, ElasticController, ElasticDecision, PoolSnapshot};
 pub use model::{GridModel, GridOutput, LossReason};
 
 use hog_net::NodeId;

@@ -22,8 +22,7 @@ use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sim_core::metrics::{Counter, StepSeries};
 use hog_sim_core::units::transfer_secs;
 use hog_sim_core::{SimDuration, SimRng, SimTime};
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Why a running worker disappeared.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,8 +47,6 @@ enum RequestState {
     Running(NodeId),
     /// Waiting out the resubmission delay after a preemption.
     Resubmitting,
-    /// Removed by the user; terminal.
-    Cancelled,
 }
 
 struct SiteState {
@@ -77,10 +74,23 @@ impl GridOutput {
 }
 
 /// The grid resource layer. See the module docs for the lifecycle.
+///
+/// Request bookkeeping is a map of **live** requests only: cancelled
+/// (terminal) entries are freed immediately, and the in-flight index
+/// tracks requests that hold a site slot but are not yet running
+/// (`WaitingBatch` / `Downloading`). Shrink and outage handling walk
+/// those indexes instead of the full request history, so cost and
+/// memory stay proportional to the live pool, not to the total number
+/// of requests ever submitted.
 pub struct GridModel {
     params: GridParams,
     sites: Vec<SiteState>,
-    requests: Vec<RequestState>,
+    /// Live requests keyed by raw id. Terminal entries are removed.
+    requests: BTreeMap<u64, RequestState>,
+    /// Next request id to hand out (monotonic across the run).
+    next_request: u64,
+    /// Requests currently holding a site slot but not yet running.
+    in_flight: BTreeSet<u64>,
     queued: VecDeque<RequestId>,
     nodes: BTreeMap<NodeId, RequestId>,
     rng: SimRng,
@@ -134,7 +144,9 @@ impl GridModel {
             GridModel {
                 params,
                 sites,
-                requests: Vec::new(),
+                requests: BTreeMap::new(),
+                next_request: 0,
+                in_flight: BTreeSet::new(),
                 queued: VecDeque::new(),
                 nodes: BTreeMap::new(),
                 rng,
@@ -172,8 +184,9 @@ impl GridModel {
         self.tracer
             .emit(|| TraceEvent::new(Layer::Grid, "glidein_submit").with("count", n));
         for _ in 0..n {
-            let id = RequestId(self.requests.len() as u64);
-            self.requests.push(RequestState::Queued);
+            let id = RequestId(self.next_request);
+            self.next_request += 1;
+            self.requests.insert(id.0, RequestState::Queued);
             self.queued.push_back(id);
         }
         self.try_match(now)
@@ -182,37 +195,70 @@ impl GridModel {
     /// Shrink the pool by `n` workers: cancels queued/pending requests
     /// first, then kills the newest running nodes.
     pub fn remove_workers(&mut self, now: SimTime, n: usize, topo: &mut Topology) -> GridOutput {
+        self.shrink(now, n, topo, None)
+    }
+
+    /// Shrink the pool by `n` workers, but only ever kill running nodes
+    /// from `preferred` (in the given order). Queued and in-flight
+    /// requests are still cancelled first — they are the cheapest to
+    /// release. If `preferred` runs out before `n` workers are gone the
+    /// pool shrinks by less than requested; the elastic controller uses
+    /// this to guarantee it never kills a node holding the only live
+    /// replica of a block.
+    pub fn remove_workers_preferring(
+        &mut self,
+        now: SimTime,
+        n: usize,
+        topo: &mut Topology,
+        preferred: &[NodeId],
+    ) -> GridOutput {
+        self.shrink(now, n, topo, Some(preferred))
+    }
+
+    fn shrink(
+        &mut self,
+        now: SimTime,
+        n: usize,
+        topo: &mut Topology,
+        preferred: Option<&[NodeId]>,
+    ) -> GridOutput {
         let mut out = GridOutput::default();
         let mut remaining = n;
         // Cancel queued requests (cheapest: nothing is running yet).
         while remaining > 0 {
-            let Some(id) = self.queued.pop_back() else { break };
-            self.requests[id.0 as usize] = RequestState::Cancelled;
+            let Some(id) = self.queued.pop_back() else {
+                break;
+            };
+            self.requests.remove(&id.0);
             remaining -= 1;
         }
-        // Cancel in-flight (batch-waiting / downloading) requests.
-        for ri in (0..self.requests.len()).rev() {
-            if remaining == 0 {
+        // Cancel in-flight (batch-waiting / downloading) requests,
+        // newest first, via the in-flight index.
+        while remaining > 0 {
+            let Some(&rid) = self.in_flight.iter().next_back() else {
                 break;
-            }
-            match self.requests[ri] {
-                RequestState::WaitingBatch(site) | RequestState::Downloading(site) => {
+            };
+            self.in_flight.remove(&rid);
+            match self.requests.remove(&rid) {
+                Some(RequestState::WaitingBatch(site)) | Some(RequestState::Downloading(site)) => {
                     let i = self.site_idx(site);
                     self.sites[i].used_slots -= 1;
-                    self.requests[ri] = RequestState::Cancelled;
                     remaining -= 1;
                 }
-                _ => {}
+                other => unreachable!("in-flight index out of sync: {other:?}"),
             }
         }
-        // Kill newest running nodes.
-        let victims: Vec<NodeId> = self
-            .nodes
-            .keys()
-            .rev()
-            .take(remaining)
-            .copied()
-            .collect();
+        // Kill running nodes: the caller's preference order if given,
+        // otherwise newest first.
+        let victims: Vec<NodeId> = match preferred {
+            Some(order) => order
+                .iter()
+                .filter(|n| self.nodes.contains_key(n))
+                .take(remaining)
+                .copied()
+                .collect(),
+            None => self.nodes.keys().rev().take(remaining).copied().collect(),
+        };
         for node in victims {
             out.merge(self.kill_node(now, node, LossReason::Removed, topo, false));
         }
@@ -287,7 +333,7 @@ impl GridModel {
                 return out;
             }
             let req = self.queued.pop_front().unwrap();
-            if self.requests[req.0 as usize] != RequestState::Queued {
+            if self.requests.get(&req.0) != Some(&RequestState::Queued) {
                 continue; // cancelled while queued
             }
             // Weighted pick by free slots, deterministic under the run rng.
@@ -304,24 +350,26 @@ impl GridModel {
             let site = &mut self.sites[site_idx];
             site.used_slots += 1;
             let sid = site.id;
-            self.requests[req.0 as usize] = RequestState::WaitingBatch(sid);
+            self.requests.insert(req.0, RequestState::WaitingBatch(sid));
+            self.in_flight.insert(req.0);
             let delay = site.config.acquisition_delay.sample(&mut self.rng);
-            out.defer.push((delay, GridEvent::Provisioned { request: req }));
+            out.defer
+                .push((delay, GridEvent::Provisioned { request: req }));
         }
     }
 
     fn on_provisioned(&mut self, now: SimTime, request: RequestId) -> GridOutput {
-        let RequestState::WaitingBatch(site) = self.requests[request.0 as usize] else {
+        let Some(&RequestState::WaitingBatch(site)) = self.requests.get(&request.0) else {
             return GridOutput::default(); // cancelled or requeued by outage
         };
         let s = &self.sites[self.site_idx(site)];
         debug_assert!(s.up, "outage should have requeued this request");
-        self.requests[request.0 as usize] = RequestState::Downloading(site);
+        self.requests
+            .insert(request.0, RequestState::Downloading(site));
         let dl_secs = transfer_secs(self.params.package_bytes, s.config.package_download_rate);
         let delay = SimDuration::from_secs_f64(dl_secs) + self.params.configure_time;
         let mut out = GridOutput::default();
-        out.defer
-            .push((delay, GridEvent::DownloadDone { request }));
+        out.defer.push((delay, GridEvent::DownloadDone { request }));
         let _ = now;
         out
     }
@@ -332,11 +380,12 @@ impl GridModel {
         request: RequestId,
         topo: &mut Topology,
     ) -> GridOutput {
-        let RequestState::Downloading(site) = self.requests[request.0 as usize] else {
+        let Some(&RequestState::Downloading(site)) = self.requests.get(&request.0) else {
             return GridOutput::default();
         };
         let node = topo.add_node(site);
-        self.requests[request.0 as usize] = RequestState::Running(node);
+        self.requests.insert(request.0, RequestState::Running(node));
+        self.in_flight.remove(&request.0);
         self.nodes.insert(node, request);
         self.node_starts.incr();
         self.running_series.record(now, self.nodes.len() as f64);
@@ -384,11 +433,11 @@ impl GridModel {
         });
         out.notes.push(GridNote::NodeLost { node, reason });
         if requeue {
-            self.requests[request.0 as usize] = RequestState::Resubmitting;
+            self.requests.insert(request.0, RequestState::Resubmitting);
             let delay = self.params.resubmit_delay.sample(&mut self.rng);
             out.defer.push((delay, GridEvent::Resubmit { request }));
         } else {
-            self.requests[request.0 as usize] = RequestState::Cancelled;
+            self.requests.remove(&request.0); // terminal: free the entry
         }
         out
     }
@@ -414,16 +463,25 @@ impl GridModel {
         for node in victims {
             out.merge(self.kill_node(now, node, LossReason::SiteOutage, topo, true));
         }
-        // Requeue requests stuck in the site's batch queue or download.
-        for (i, st) in self.requests.iter_mut().enumerate() {
-            match *st {
-                RequestState::WaitingBatch(s) | RequestState::Downloading(s) if s == site => {
-                    *st = RequestState::Queued;
-                    self.queued.push_back(RequestId(i as u64));
-                    self.sites[idx].used_slots -= 1;
-                }
-                _ => {}
-            }
+        // Requeue requests stuck in the site's batch queue or download
+        // (ascending id order, matching submission order).
+        let stuck: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|rid| {
+                matches!(
+                    self.requests.get(rid),
+                    Some(RequestState::WaitingBatch(s)) | Some(RequestState::Downloading(s))
+                        if *s == site
+                )
+            })
+            .copied()
+            .collect();
+        for rid in stuck {
+            self.in_flight.remove(&rid);
+            self.requests.insert(rid, RequestState::Queued);
+            self.queued.push_back(RequestId(rid));
+            self.sites[idx].used_slots -= 1;
         }
         let dur = self.sites[idx].config.outage_duration.sample(&mut self.rng);
         out.defer.push((dur, GridEvent::SiteRecover { site }));
@@ -447,10 +505,10 @@ impl GridModel {
     }
 
     fn on_resubmit(&mut self, now: SimTime, request: RequestId) -> GridOutput {
-        if self.requests[request.0 as usize] != RequestState::Resubmitting {
+        if self.requests.get(&request.0) != Some(&RequestState::Resubmitting) {
             return GridOutput::default();
         }
-        self.requests[request.0 as usize] = RequestState::Queued;
+        self.requests.insert(request.0, RequestState::Queued);
         self.queued.push_back(request);
         self.try_match(now)
     }
@@ -458,6 +516,20 @@ impl GridModel {
     /// Number of workers currently running.
     pub fn running_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Requests on their way to becoming running workers: queued,
+    /// waiting out a batch queue, downloading, or waiting out a
+    /// resubmission delay. The elastic controller counts these as
+    /// committed supply so it does not double-request capacity.
+    pub fn outstanding_count(&self) -> usize {
+        self.requests.len() - self.nodes.len()
+    }
+
+    /// Total live request-table entries (regression hook: must stay
+    /// proportional to the live pool, not to requests ever submitted).
+    pub fn request_table_len(&self) -> usize {
+        self.requests.len()
     }
 
     /// The actual available-node step series (Figure 5's ground truth).
@@ -603,10 +675,8 @@ mod tests {
         let rng = SimRng::seed_from_u64(4);
         // Very short lifetimes force constant churn; the single site has
         // spare capacity so the pool keeps healing.
-        let site = quick_site("A", "a.edu", 50)
-            .with_mean_lifetime(SimDuration::from_secs(300));
-        let (mut model, init) =
-            GridModel::new(GridParams::default(), vec![site], &mut topo, rng);
+        let site = quick_site("A", "a.edu", 50).with_mean_lifetime(SimDuration::from_secs(300));
+        let (mut model, init) = GridModel::new(GridParams::default(), vec![site], &mut topo, rng);
         let out = model.submit_workers(SimTime::ZERO, 30);
         let mut all = init;
         all.extend(out.defer);
@@ -640,8 +710,7 @@ mod tests {
         let mut site = quick_site("A", "a.edu", 40);
         site.outage_mtbf = Some(Exponential::from_mean(SimDuration::from_secs(1800)));
         site.outage_duration = UniformDuration::point(SimDuration::from_mins(5));
-        let (mut model, init) =
-            GridModel::new(GridParams::default(), vec![site], &mut topo, rng);
+        let (mut model, init) = GridModel::new(GridParams::default(), vec![site], &mut topo, rng);
         let out = model.submit_workers(SimTime::ZERO, 30);
         let mut all = init;
         all.extend(out.defer);
@@ -719,10 +788,8 @@ mod tests {
         let sites = paper_sites()
             .into_iter()
             .map(|mut s| {
-                s.acquisition_delay = UniformDuration::new(
-                    SimDuration::from_secs(5),
-                    SimDuration::from_secs(60),
-                );
+                s.acquisition_delay =
+                    UniformDuration::new(SimDuration::from_secs(5), SimDuration::from_secs(60));
                 s.with_mean_lifetime(SimDuration::from_secs(100_000_000))
             })
             .collect();
@@ -743,12 +810,83 @@ mod tests {
     }
 
     #[test]
+    fn grow_shrink_cycles_keep_request_table_flat() {
+        // Regression for the request-table leak: `requests` used to be an
+        // append-only Vec, so every submit grew it forever and every
+        // shrink walked the full history. 10k grow/shrink cycles must
+        // leave the table no bigger than the live pool.
+        let mut topo = Topology::new();
+        let rng = SimRng::seed_from_u64(10);
+        let (mut model, _init) = GridModel::new(
+            GridParams::default(),
+            vec![quick_site("A", "a.edu", 5)],
+            &mut topo,
+            rng,
+        );
+        // Fill the site: 5 in-flight requests pin all slots.
+        let _ = model.submit_workers(SimTime::ZERO, 5);
+        assert_eq!(model.outstanding_count(), 5);
+        // Phase 1: churn requests that never match (site is full), so
+        // each cycle cancels the queued request it just created.
+        for i in 0..5_000u64 {
+            let t = SimTime::from_secs(10 + i);
+            let _ = model.submit_workers(t, 1);
+            let _ = model.remove_workers(t, 1, &mut topo);
+        }
+        // Phase 2: free a slot so each new request matches (WaitingBatch)
+        // and each removal cancels it through the in-flight index.
+        let _ = model.remove_workers(SimTime::from_secs(20_000), 1, &mut topo);
+        for i in 0..5_000u64 {
+            let t = SimTime::from_secs(30_000 + i);
+            let _ = model.submit_workers(t, 1);
+            let _ = model.remove_workers(t, 1, &mut topo);
+        }
+        assert!(
+            model.request_table_len() <= 8,
+            "request table leaked: {} entries after 10k grow/shrink cycles",
+            model.request_table_len()
+        );
+        assert_eq!(model.outstanding_count(), 4);
+        assert_eq!(model.running_count(), 0);
+    }
+
+    #[test]
+    fn preferred_shrink_only_kills_listed_nodes() {
+        let mut topo = Topology::new();
+        let rng = SimRng::seed_from_u64(11);
+        let (mut model, init) = GridModel::new(
+            GridParams::default(),
+            vec![quick_site("A", "a.edu", 50)],
+            &mut topo,
+            rng,
+        );
+        let out = model.submit_workers(SimTime::ZERO, 10);
+        let mut all = init;
+        all.extend(out.defer);
+        drive(&mut model, &mut topo, all, SimTime::from_secs(600));
+        assert_eq!(model.running_count(), 10);
+        let allowed: Vec<NodeId> = topo.alive_nodes().take(2).map(|r| r.id).collect();
+        // Ask for 5 but only 2 victims are eligible: shrink under-delivers
+        // rather than touching protected nodes.
+        let out = model.remove_workers_preferring(SimTime::from_secs(700), 5, &mut topo, &allowed);
+        let killed: Vec<NodeId> = out
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                GridNote::NodeLost { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(killed, allowed);
+        assert_eq!(model.running_count(), 8);
+    }
+
+    #[test]
     fn deterministic_replay() {
         let run = |seed: u64| {
             let mut topo = Topology::new();
             let rng = SimRng::seed_from_u64(seed);
-            let site = quick_site("A", "a.edu", 30)
-                .with_mean_lifetime(SimDuration::from_secs(600));
+            let site = quick_site("A", "a.edu", 30).with_mean_lifetime(SimDuration::from_secs(600));
             let (mut model, init) =
                 GridModel::new(GridParams::default(), vec![site], &mut topo, rng);
             let out = model.submit_workers(SimTime::ZERO, 25);

@@ -253,8 +253,15 @@ impl JobState {
 
     /// Record an attempt entering `Running`: index it for the speculation
     /// scan and bump the per-kind running count.
-    pub fn note_attempt_started(&mut self, kind: TaskKind, index: u32, attempt: u8, started: SimTime) {
-        self.running_by_start.insert((started, kind, index, attempt));
+    pub fn note_attempt_started(
+        &mut self,
+        kind: TaskKind,
+        index: u32,
+        attempt: u8,
+        started: SimTime,
+    ) {
+        self.running_by_start
+            .insert((started, kind, index, attempt));
         match kind {
             TaskKind::Map => self.running_maps += 1,
             TaskKind::Reduce => self.running_reduces += 1,
@@ -262,8 +269,15 @@ impl JobState {
     }
 
     /// Record an attempt leaving `Running` (succeeded, failed or killed).
-    pub fn note_attempt_stopped(&mut self, kind: TaskKind, index: u32, attempt: u8, started: SimTime) {
-        self.running_by_start.remove(&(started, kind, index, attempt));
+    pub fn note_attempt_stopped(
+        &mut self,
+        kind: TaskKind,
+        index: u32,
+        attempt: u8,
+        started: SimTime,
+    ) {
+        self.running_by_start
+            .remove(&(started, kind, index, attempt));
         match kind {
             TaskKind::Map => self.running_maps = self.running_maps.saturating_sub(1),
             TaskKind::Reduce => self.running_reduces = self.running_reduces.saturating_sub(1),

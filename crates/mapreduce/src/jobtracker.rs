@@ -158,6 +158,22 @@ pub struct JtCounters {
     pub jobs_failed: u64,
 }
 
+/// Aggregate task backlog over incomplete jobs (one elastic-controller
+/// input; also exported as hog-obs gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Backlog {
+    /// Map tasks not yet (re)assigned.
+    pub pending_maps: usize,
+    /// Map attempts currently running.
+    pub running_maps: usize,
+    /// Reduce tasks not yet assigned.
+    pub pending_reduces: usize,
+    /// Reduce attempts currently running.
+    pub running_reduces: usize,
+    /// Jobs still running tasks.
+    pub active_jobs: usize,
+}
+
 /// The MapReduce master. See the crate docs for the modelled behaviours.
 pub struct JobTracker {
     cfg: MrParams,
@@ -279,12 +295,105 @@ impl JobTracker {
             .is_some_and(|t| t.liveness == TrackerLiveness::Live)
     }
 
+    /// Whether a tracker currently hosts running attempts *or* map
+    /// outputs some unfinished reduce may still fetch. The elastic
+    /// shrink avoids reclaiming either: killing a running attempt
+    /// reschedules it, and killing still-needed map outputs forces the
+    /// maps to re-run — both turn a voluntary shrink into rescheduling
+    /// churn. Scratch stops pinning the tracker once every reduce of
+    /// every job holding output here is past its shuffle (scheduled and
+    /// fetches complete): from then on the outputs are dead weight, and
+    /// a later re-attempt would recover through the ordinary
+    /// fetch-failure → map-re-run path, exactly as after any death.
+    pub fn tracker_busy(&self, node: NodeId) -> bool {
+        let Some(t) = self.trackers.get(&node) else {
+            return false;
+        };
+        if !t.running.is_empty() {
+            return true;
+        }
+        if t.scratch_used == 0 {
+            return false;
+        }
+        self.jobs.iter().any(|job| {
+            !job.all_done()
+                && job.scratch_by_node.get(&node).copied().unwrap_or(0) > 0
+                && (!job.pending_reduces.is_empty()
+                    || job.reduce_plans.values().any(|p| !p.complete()))
+        })
+    }
+
     /// Trackers the JobTracker believes alive (Fig. 5 master view).
     pub fn reported_live(&self) -> usize {
         self.trackers
             .values()
             .filter(|t| t.liveness != TrackerLiveness::Dead)
             .count()
+    }
+
+    /// Aggregate task backlog over incomplete jobs — the demand half of
+    /// the elastic controller's pool snapshot.
+    pub fn backlog(&self) -> Backlog {
+        let mut b = Backlog::default();
+        for &jid in &self.fifo {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            b.active_jobs += 1;
+            b.pending_maps += job.pending_maps.len();
+            b.pending_reduces += job.pending_reduces.len();
+            b.running_maps += job.running_maps as usize;
+            b.running_reduces += job.running_reduces as usize;
+        }
+        b
+    }
+
+    /// Running slot count per incomplete job, in submission order (the
+    /// per-job slot-share series hog-obs samples each master tick).
+    pub fn job_shares(&self) -> impl Iterator<Item = (JobId, u32)> + '_ {
+        self.fifo.iter().map(|&jid| {
+            let job = &self.jobs[jid.0 as usize];
+            (jid, job.running_maps + job.running_reduces)
+        })
+    }
+
+    /// Jain's fairness index `J = (Σx)² / (n·Σx²)` over the running
+    /// slot counts of jobs that currently want capacity (some task
+    /// pending or running). 1.0 means perfectly even shares; 1/n means
+    /// one job holds everything. Degenerate cases (≤ 1 contender, or
+    /// nobody holds a slot yet) report 1.0.
+    pub fn jain_fairness(&self) -> f64 {
+        let mut n = 0usize;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for &jid in &self.fifo {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let demand = job.pending_maps.len()
+                + job.pending_reduces.len()
+                + (job.running_maps + job.running_reduces) as usize;
+            if demand == 0 {
+                continue;
+            }
+            let share = (job.running_maps + job.running_reduces) as f64;
+            n += 1;
+            sum += share;
+            sumsq += share * share;
+        }
+        if n <= 1 || sumsq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sumsq)
+    }
+
+    /// The active policy's failure penalty for a site (0.0 for policies
+    /// without failure history). Read by the elastic controller to pick
+    /// shrink victims at churn-prone sites first.
+    pub fn site_penalty(&self, site: SiteId, now: SimTime) -> f64 {
+        self.sched.site_penalty(site, now)
     }
 
     /// Declare overdue silent trackers dead: reschedule their running
@@ -307,23 +416,48 @@ impl JobTracker {
     }
 
     fn declare_tracker_dead(&mut self, now: SimTime, node: NodeId) -> Vec<JtNote> {
+        self.tracker_gone(now, node, false)
+    }
+
+    /// Gracefully retire a tracker the elastic controller is releasing.
+    /// Unlike a crash this is voluntary, so it neither feeds the
+    /// scheduler's failure history (a planned release is not a site
+    /// fault) nor proactively re-runs completed maps for jobs whose
+    /// reduces are all past their shuffle — for those the outputs are
+    /// dead weight, and any later reduce re-attempt recovers through
+    /// the ordinary fetch-failure path.
+    pub fn decommission_tracker(&mut self, now: SimTime, node: NodeId) -> Vec<JtNote> {
+        self.tracker_gone(now, node, true)
+    }
+
+    fn tracker_gone(&mut self, now: SimTime, node: NodeId, planned: bool) -> Vec<JtNote> {
         let mut notes = Vec::new();
-        let Some(t) = self.trackers.get_mut(&node) else {
-            return notes;
+        // One scoped borrow pulls everything the rest of the path needs,
+        // so the `on_tracker_dead` policy hook below can do whatever it
+        // likes to tracker state without an unwrap turning a missing
+        // entry into a panic.
+        let running = {
+            let Some(t) = self.trackers.get_mut(&node) else {
+                return notes; // unknown tracker: nothing to declare
+            };
+            t.liveness = TrackerLiveness::Dead;
+            let running: Vec<AttemptRef> = std::mem::take(&mut t.running).into_iter().collect();
+            t.scratch_used = 0;
+            running
         };
-        t.liveness = TrackerLiveness::Dead;
-        self.sched.on_tracker_dead(node, now);
-        let t = self.trackers.get_mut(&node).unwrap();
-        let aborted = t.running.len();
+        if !planned {
+            self.sched.on_tracker_dead(node, now);
+        }
         self.tracer.emit(|| {
-            TraceEvent::new(Layer::MapReduce, "tracker_dead")
+            let kind = if planned {
+                "tracker_decommissioned"
+            } else {
+                "tracker_dead"
+            };
+            TraceEvent::new(Layer::MapReduce, kind)
                 .with("node", node.0)
-                .with("aborted_attempts", aborted)
+                .with("aborted_attempts", running.len())
         });
-        let t = self.trackers.get_mut(&node).unwrap();
-        let running: Vec<AttemptRef> = t.running.iter().copied().collect();
-        t.running.clear();
-        t.scratch_used = 0;
         // Requeue running attempts (killed, not failed: no blame).
         for att in running {
             notes.extend(self.abort_attempt(now, att, node, false));
@@ -338,6 +472,17 @@ impl JobTracker {
             job.scratch_by_node.remove(&node);
             // Nothing needs old map output once every reduce has finished.
             if job.all_done() || job.reduces_done == job.spec.reduces {
+                continue;
+            }
+            // A planned release only hands over trackers whose outputs no
+            // unfinished reduce can still fetch (every reduce scheduled
+            // and past its shuffle); verify rather than assume, so a
+            // schedule change between victim selection and the kill still
+            // re-runs what is genuinely needed.
+            if planned
+                && job.pending_reduces.is_empty()
+                && job.reduce_plans.values().all(|p| p.complete())
+            {
                 continue;
             }
             let mut lost: Vec<u32> = Vec::new();
@@ -517,7 +662,8 @@ impl JobTracker {
         for jid in self.ordered_jobs(SlotKind::Map, now) {
             let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
-            if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
+            if job.status != JobStatus::Running
+                || job.blacklisted(node, self.cfg.blacklist_threshold)
             {
                 continue;
             }
@@ -526,8 +672,7 @@ impl JobTracker {
             }
             // Only tasks past their retry backoff are assignable.
             let ok = |m: &u32| {
-                job.pending_maps.contains(m)
-                    && job.retry_eligible(TaskKind::Map, *m, now)
+                job.pending_maps.contains(m) && job.retry_eligible(TaskKind::Map, *m, now)
             };
             // Walk the locality ladder: node → (rack) → site → remote.
             // The rack rung only exists for rack-aware policies; FIFO
@@ -647,21 +792,45 @@ impl JobTracker {
     }
 
     /// Populate a fresh reduce attempt's shuffle plan with every map
-    /// output already completed.
+    /// output already completed. Maps whose output sits on a tracker the
+    /// JobTracker already knows is dead (e.g. decommissioned by the
+    /// elastic controller after its reduces finished shuffling, then
+    /// needed again by this re-attempt) are requeued immediately instead
+    /// of being handed out as doomed fetch sources — burning a
+    /// fetch-failure strike cycle per map just to rediscover a death the
+    /// master already observed would stretch recovery by hours.
     fn init_reduce_plan(&mut self, att: AttemptRef, topo: &Topology) {
         let jid = att.task.job;
         let total = self.jobs[jid.0 as usize].spec.maps();
         let part = self.partition_bytes(jid);
         let mut plan = ReducePlan::new(total);
         // Collect (map, node) of completed maps first to appease borrows.
-        let done: Vec<(u32, NodeId)> = self.jobs[jid.0 as usize]
+        type MapLoc = Vec<(u32, NodeId)>;
+        let (done, lost): (MapLoc, MapLoc) = self.jobs[jid.0 as usize]
             .maps
             .iter()
             .enumerate()
             .filter_map(|(i, t)| t.completed_on.filter(|_| t.done).map(|n| (i as u32, n)))
-            .collect();
+            .partition(|&(_, n)| {
+                self.trackers
+                    .get(&n)
+                    .is_none_or(|t| t.liveness != TrackerLiveness::Dead)
+            });
         for (m, n) in done {
             plan.map_available(m, n, topo.site_of(n), part);
+        }
+        if !lost.is_empty() {
+            let job = &mut self.jobs[jid.0 as usize];
+            job.maps_done -= lost.len() as u32;
+            for &(m, _) in &lost {
+                let task = &mut job.maps[m as usize];
+                task.done = false;
+                task.completed_on = None;
+                job.pending_maps.insert(m);
+                for p in job.reduce_plans.values_mut() {
+                    p.map_lost(m);
+                }
+            }
         }
         self.jobs[jid.0 as usize].reduce_plans.insert(att, plan);
     }
@@ -690,10 +859,7 @@ impl JobTracker {
         // Rate-limit unsuccessful scans so repeated idle heartbeats within
         // the same instant's window stay cheap.
         const SCAN_COOLDOWN: SimDuration = SimDuration::from_secs(5);
-        if !self
-            .sched
-            .allow_speculation(node, topo.site_of(node), now)
-        {
+        if !self.sched.allow_speculation(node, topo.site_of(node), now) {
             return None;
         }
         let slot_kind = match kind {
@@ -703,13 +869,12 @@ impl JobTracker {
         for jid in self.ordered_jobs(slot_kind, now) {
             let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
-            if job.status != JobStatus::Running || job.blacklisted(node, self.cfg.blacklist_threshold)
+            if job.status != JobStatus::Running
+                || job.blacklisted(node, self.cfg.blacklist_threshold)
             {
                 continue;
             }
-            if !self.cfg.eager_copies
-                && now.saturating_since(job.spec_last_scan) < SCAN_COOLDOWN
-            {
+            if !self.cfg.eager_copies && now.saturating_since(job.spec_last_scan) < SCAN_COOLDOWN {
                 continue;
             }
             // Eager mode (multi-copy, §VI) skips the straggler threshold;
@@ -961,9 +1126,8 @@ impl JobTracker {
             return Vec::new();
         }
         self.counters.failures += 1;
-        let node = self.jobs[att.task.job.0 as usize].task(att.task).attempts
-            [att.attempt as usize]
-            .node;
+        let node =
+            self.jobs[att.task.job.0 as usize].task(att.task).attempts[att.attempt as usize].node;
         {
             let job = &mut self.jobs[att.task.job.0 as usize];
             *job.tracker_failures.entry(node).or_insert(0) += 1;
@@ -1149,7 +1313,10 @@ impl JobTracker {
 
     /// A shuffle fetch finished.
     pub fn fetch_done(&mut self, att: AttemptRef, order: u64) {
-        if let Some(plan) = self.jobs[att.task.job.0 as usize].reduce_plans.get_mut(&att) {
+        if let Some(plan) = self.jobs[att.task.job.0 as usize]
+            .reduce_plans
+            .get_mut(&att)
+        {
             plan.fetch_done(order);
             self.tracer.emit(|| {
                 TraceEvent::new(Layer::MapReduce, "fetch_done")
@@ -1419,9 +1586,8 @@ impl hog_sim_core::Auditable for JobTracker {
                     ));
                     continue;
                 }
-                let rec = &self.jobs[att.task.job.0 as usize]
-                    .task(att.task)
-                    .attempts[att.attempt as usize];
+                let rec = &self.jobs[att.task.job.0 as usize].task(att.task).attempts
+                    [att.attempt as usize];
                 if rec.node != n {
                     out.push(Violation::new(
                         "mapreduce",

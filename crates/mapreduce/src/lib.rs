@@ -42,7 +42,7 @@ pub mod tracker;
 pub use config::MrParams;
 pub use hog_sched::SchedPolicy;
 pub use job::{JobId, JobSubmission, TaskKind, TaskRef};
-pub use jobtracker::{Assignment, JobTracker, JtNote, ReduceStep};
+pub use jobtracker::{Assignment, Backlog, JobTracker, JtNote, ReduceStep};
 pub use shuffle::FetchOrder;
 
 /// One execution attempt of a task. `attempt` counts from 0; speculative

@@ -68,8 +68,7 @@ impl ReducePlan {
         if self.is_fetched(map) || self.in_flight.values().flatten().any(|&m| m == map) {
             return;
         }
-        self.pending
-            .insert(map, Some(Source { node, site, bytes }));
+        self.pending.insert(map, Some(Source { node, site, bytes }));
     }
 
     /// A map's output was lost (its node died); it will reappear via
@@ -120,7 +119,12 @@ impl ReducePlan {
             // Largest batch first; site id tie-break for determinism.
             let (&site, _) = by_site
                 .iter()
-                .max_by_key(|(&s, v)| (v.iter().map(|(_, x)| x.bytes).sum::<u64>(), std::cmp::Reverse(s)))
+                .max_by_key(|(&s, v)| {
+                    (
+                        v.iter().map(|(_, x)| x.bytes).sum::<u64>(),
+                        std::cmp::Reverse(s),
+                    )
+                })
                 .unwrap();
             let mut batch = by_site.remove(&site).unwrap();
             batch.sort_by_key(|&(m, _)| m);

@@ -1,0 +1,150 @@
+//! Tracker-death handling under every scheduler policy.
+//!
+//! Regression for the `declare_tracker_dead` borrow bug: the path used
+//! to re-fetch the tracker with successive `get_mut(..).unwrap()` calls
+//! around the `sched.on_tracker_dead` policy hook, so any hook (or
+//! future refactor) that removed the entry mid-path would panic instead
+//! of taking an error path. The restructured code takes one scoped
+//! borrow; these tests drive a death through each policy and check the
+//! requeue semantics that borrow must preserve.
+
+use hog_hdfs::BlockId;
+use hog_mapreduce::{Assignment, JobSubmission, JobTracker, MrParams, SchedPolicy};
+use hog_net::{NodeId, Topology};
+use hog_sim_core::{SimDuration, SimRng, SimTime};
+
+fn cluster(policy: SchedPolicy, nodes_n: usize) -> (JobTracker, Topology, Vec<NodeId>) {
+    let mut topo = Topology::new();
+    let site = topo.add_site("S0".to_string(), "s0.edu".to_string());
+    let nodes: Vec<NodeId> = (0..nodes_n).map(|_| topo.add_node(site)).collect();
+    let cfg = MrParams {
+        sched: policy,
+        ..MrParams::hog()
+    };
+    let mut jt = JobTracker::new(cfg, SimRng::seed_from_u64(7));
+    for &n in &nodes {
+        jt.register_tracker(SimTime::ZERO, n, site, 1, 1);
+    }
+    (jt, topo, nodes)
+}
+
+fn submit(jt: &mut JobTracker, topo: &Topology, nodes: &[NodeId], maps: u32, reduces: u32) {
+    let locs: Vec<Vec<NodeId>> = (0..maps)
+        .map(|i| vec![nodes[i as usize % nodes.len()]])
+        .collect();
+    let spec = JobSubmission {
+        input_blocks: (0..maps).map(|i| (BlockId(i as u64), 64)).collect(),
+        split_locations: locs,
+        reduces,
+        map_cpu_secs: 10.0,
+        map_output_bytes: 1000,
+        reduce_cpu_secs: 5.0,
+        reduce_output_bytes: 500,
+        output_replication: 3,
+    };
+    jt.submit_job(SimTime::from_secs(1), spec, topo);
+}
+
+fn drive_death(policy: SchedPolicy) {
+    let (mut jt, topo, nodes) = cluster(policy, 4);
+    submit(&mut jt, &topo, &nodes, 8, 2);
+
+    // Assign work everywhere.
+    let t1 = SimTime::from_secs(2);
+    let mut assigned = 0usize;
+    for &n in &nodes {
+        for a in jt.heartbeat(t1, n, &topo) {
+            if let Assignment::Map { attempt, .. } = a {
+                assert!(jt.reserve_map_scratch(attempt, n));
+            }
+            assigned += 1;
+        }
+    }
+    assert!(assigned > 0, "{policy:?}: no work assigned");
+    let before = jt.backlog();
+    assert!(before.running_maps > 0);
+
+    // Node 0 goes silent; past the 30 s timeout it must be declared
+    // dead without panicking, whatever state the policy hook keeps.
+    let victim = nodes[0];
+    jt.tracker_silent(SimTime::from_secs(5), victim);
+    let t_dead = SimTime::from_secs(5) + jt.config().tracker_dead_timeout;
+    let (died, _notes) = jt.check_dead(t_dead);
+    assert_eq!(died, vec![victim], "{policy:?}: victim not declared dead");
+    assert!(!jt.tracker_live(victim));
+    assert_eq!(jt.reported_live(), nodes.len() - 1);
+
+    // Its running attempts went back to pending, none lost.
+    let after = jt.backlog();
+    assert_eq!(
+        after.pending_maps + after.running_maps,
+        before.pending_maps + before.running_maps,
+        "{policy:?}: map tasks lost across tracker death"
+    );
+    assert!(
+        after.running_maps < before.running_maps,
+        "{policy:?}: victim's attempts still counted running"
+    );
+
+    // A second declaration for the same (now dead) tracker and one for
+    // a node the JobTracker never saw must both be no-ops.
+    jt.tracker_silent(t_dead, victim);
+    let (died, notes) = jt.check_dead(t_dead + SimDuration::from_secs(60));
+    assert!(died.is_empty());
+    assert!(notes.is_empty());
+    let ghost = NodeId(9_999);
+    jt.tracker_silent(t_dead, ghost);
+    let (died, _) = jt.check_dead(t_dead + SimDuration::from_secs(120));
+    assert!(died.is_empty(), "{policy:?}: ghost node declared dead");
+
+    // Failure-aware policies now hold a penalty against the site; the
+    // read path the elastic controller uses must see it (and see zero
+    // for history-free policies).
+    let site = topo.site_of(victim);
+    let p = jt.site_penalty(site, t_dead);
+    match policy {
+        SchedPolicy::FailureAware => assert!(p > 0.0, "site penalty not recorded"),
+        _ => assert_eq!(p, 0.0, "{policy:?} should keep no site history"),
+    }
+}
+
+#[test]
+fn tracker_death_under_fifo() {
+    drive_death(SchedPolicy::Fifo);
+}
+
+#[test]
+fn tracker_death_under_fair() {
+    drive_death(SchedPolicy::Fair);
+}
+
+#[test]
+fn tracker_death_under_failure_aware() {
+    drive_death(SchedPolicy::FailureAware);
+}
+
+#[test]
+fn jain_fairness_degenerate_and_skewed() {
+    let (mut jt, topo, nodes) = cluster(SchedPolicy::Fifo, 4);
+    // No jobs: vacuous fairness.
+    assert_eq!(jt.jain_fairness(), 1.0);
+    submit(&mut jt, &topo, &nodes, 4, 1);
+    // One job: still 1.0 by definition.
+    assert_eq!(jt.jain_fairness(), 1.0);
+    submit(&mut jt, &topo, &nodes, 4, 1);
+    // Two contenders, no slots assigned yet: equally starved.
+    assert_eq!(jt.jain_fairness(), 1.0);
+    let t = SimTime::from_secs(2);
+    for &n in &nodes {
+        for a in jt.heartbeat(t, n, &topo) {
+            if let Assignment::Map { attempt, .. } = a {
+                assert!(jt.reserve_map_scratch(attempt, n));
+            }
+        }
+    }
+    // FIFO gives all four map slots to job 0: maximal skew, J = 1/2.
+    let j = jt.jain_fairness();
+    assert!((j - 0.5).abs() < 1e-9, "expected J=0.5, got {j}");
+    let shares: Vec<u32> = jt.job_shares().map(|(_, s)| s).collect();
+    assert_eq!(shares, vec![4, 0]);
+}

@@ -4,6 +4,7 @@
 
 use crate::trace::Layer;
 use hog_sim_core::{Histogram, SimTime, StepSeries};
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// Handle to a registered series-backed metric (gauge or counter).
@@ -17,7 +18,7 @@ pub struct HistogramId(usize);
 #[derive(Clone, Debug)]
 struct SeriesMetric {
     layer: Layer,
-    name: &'static str,
+    name: Cow<'static, str>,
     current: f64,
     series: StepSeries,
 }
@@ -48,6 +49,17 @@ impl MetricsRegistry {
     /// Register a series-backed metric. Names are `snake_case` and unique
     /// within a layer by convention (not enforced).
     pub fn register(&mut self, layer: Layer, name: &'static str) -> MetricId {
+        self.register_name(layer, Cow::Borrowed(name))
+    }
+
+    /// Register a series-backed metric whose name is built at runtime
+    /// (e.g. the per-job `job3_slots` slot-share series, registered
+    /// lazily as jobs are submitted).
+    pub fn register_owned(&mut self, layer: Layer, name: String) -> MetricId {
+        self.register_name(layer, Cow::Owned(name))
+    }
+
+    fn register_name(&mut self, layer: Layer, name: Cow<'static, str>) -> MetricId {
         self.series.push(SeriesMetric {
             layer,
             name,
@@ -322,6 +334,21 @@ mod tests {
         let flows = diffs.iter().find(|d| d.name == "net/active_flows").unwrap();
         assert_eq!(flows.mean_a, 0.0);
         assert!(flows.score > 0.9);
+    }
+
+    #[test]
+    fn owned_names_round_trip_like_static_ones() {
+        let mut r = MetricsRegistry::new();
+        let ids: Vec<MetricId> = (0..3)
+            .map(|i| r.register_owned(Layer::MapReduce, format!("job{i}_slots")))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            r.set(id, i as f64);
+        }
+        r.snapshot(SimTime::from_secs(30));
+        assert_eq!(r.name(ids[2]), "mapreduce/job2_slots");
+        let s = r.find("mapreduce/job1_slots").expect("registered");
+        assert_eq!(s.last_value(), 1.0);
     }
 
     #[test]

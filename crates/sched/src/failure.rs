@@ -147,6 +147,10 @@ impl Scheduler for FailureAwareSched {
     fn on_tracker_dead(&mut self, node: NodeId, now: SimTime) {
         self.bump_node(node, TRACKER_DEATH_PENALTY, now);
     }
+
+    fn site_penalty(&self, site: SiteId, now: SimTime) -> f64 {
+        self.decayed(self.site_scores.get(&site), now)
+    }
 }
 
 #[cfg(test)]

@@ -186,7 +186,13 @@ mod tests {
         f.on_assigned(1, SlotKind::Map, NodeId(0), Some(Locality::Remote), t(24));
         assert_eq!(f.locality_gate(1, Locality::Remote, t(25)), Gate::Accept);
         // ...but a node-local launch resets it.
-        f.on_assigned(1, SlotKind::Map, NodeId(0), Some(Locality::NodeLocal), t(26));
+        f.on_assigned(
+            1,
+            SlotKind::Map,
+            NodeId(0),
+            Some(Locality::NodeLocal),
+            t(26),
+        );
         assert_eq!(f.locality_gate(1, Locality::Remote, t(27)), Gate::Defer);
     }
 }

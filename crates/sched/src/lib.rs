@@ -189,6 +189,14 @@ pub trait Scheduler {
     fn on_tracker_dead(&mut self, node: NodeId, now: SimTime) {
         let _ = (node, now);
     }
+
+    /// The policy's current failure penalty for a whole site (0.0 when
+    /// the policy keeps no failure history). The elastic pool controller
+    /// reads this to release workers at churn-prone sites first.
+    fn site_penalty(&self, site: SiteId, now: SimTime) -> f64 {
+        let _ = (site, now);
+        0.0
+    }
 }
 
 /// Which policy a cluster runs. `Copy` so it can ride inside the plain-
@@ -242,7 +250,11 @@ mod tests {
 
     #[test]
     fn policy_names_round_trip() {
-        for p in [SchedPolicy::Fifo, SchedPolicy::Fair, SchedPolicy::FailureAware] {
+        for p in [
+            SchedPolicy::Fifo,
+            SchedPolicy::Fair,
+            SchedPolicy::FailureAware,
+        ] {
             assert_eq!(SchedPolicy::parse(p.as_str()), Some(p));
             assert_eq!(build(p).name(), p.as_str());
         }

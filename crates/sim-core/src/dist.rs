@@ -81,6 +81,11 @@ impl UniformDuration {
         }
         SimDuration::from_millis(rng.uniform_u64(lo, hi + 1))
     }
+
+    /// The distribution mean, `(lo + hi) / 2` (cost models).
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_millis((self.lo.as_millis() + self.hi.as_millis()) / 2)
+    }
 }
 
 /// Log-normal distribution specified by the *linear-space* median and a
