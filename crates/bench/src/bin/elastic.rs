@@ -15,11 +15,14 @@
 //! handing nodes back at the blasted sites.
 //!
 //! Usage:
-//!   elastic [--smoke] [--seed S] [--out PATH]
+//!   elastic [--smoke] [--seed S] [--out PATH] [--check BASELINE]
 //!
 //! * `--smoke`    run only the static-100 and elastic tiers (CI gate)
 //! * `--seed S`   cluster seed (default 7; schedule seed is 1000+S)
 //! * `--out PATH` where to write the JSON report (default BENCH_elastic.json)
+//! * `--check BASELINE` compare wall-clock and outcome fingerprints per
+//!   shared label against a previous report; exit non-zero on a >25%
+//!   (+noise floor) wall regression or any fingerprint change
 //!
 //! The JSON is hand-rolled (no serde in the workspace); schema mirrors
 //! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md X12.
@@ -39,6 +42,10 @@ const ELASTIC_MIN: usize = 40;
 const ELASTIC_MAX: usize = 300;
 /// Sites hammered by the burst ablation (same pair as the sched bench).
 const BURST_SITES: [&str; 2] = ["UCSDT2", "AGLT2"];
+/// Wall-clock regression gate for `--check` (fraction of baseline).
+const REGRESSION_FRAC: f64 = 0.25;
+/// Absolute slack below which a regression is considered timer noise.
+const NOISE_FLOOR_MS: u64 = 250;
 
 struct TierReport {
     label: String,
@@ -262,6 +269,77 @@ fn verdict(tiers: &[TierReport]) -> bool {
     ok
 }
 
+/// Extract `(label, wall_ms, fingerprint)` triples from a report written
+/// by [`to_json`] (schema-coupled on purpose; no JSON dep).
+fn parse_baseline(text: &str) -> Vec<(String, u64, Option<String>)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"label\":") {
+            continue;
+        }
+        let label = line.find("\"label\": \"").and_then(|i| {
+            let rest = &line[i + "\"label\": \"".len()..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        });
+        let wall = line.find("\"wall_ms\": ").and_then(|i| {
+            let rest = &line[i + "\"wall_ms\": ".len()..];
+            let end = rest
+                .find(|ch: char| !ch.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse::<u64>().ok()
+        });
+        let fp = line.find("\"fingerprint\": \"").and_then(|i| {
+            let rest = &line[i + "\"fingerprint\": \"".len()..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        });
+        if let (Some(l), Some(w)) = (label, wall) {
+            out.push((l, w, fp));
+        }
+    }
+    out
+}
+
+/// `--check`: every tier of this run that shares a label with the
+/// baseline must stay within the wall-clock gate and keep its outcome
+/// fingerprint. Returns false on regression.
+fn check_against(baseline_path: &str, tiers: &[TierReport]) -> bool {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {baseline_path} has no tiers"
+    );
+    let mut ok = true;
+    for t in tiers {
+        let Some((_, base_ms, base_fp)) = baseline.iter().find(|(l, _, _)| *l == t.label) else {
+            continue;
+        };
+        let limit = base_ms + (*base_ms as f64 * REGRESSION_FRAC) as u64 + NOISE_FLOOR_MS;
+        let verdict = if t.wall_ms > limit {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  check {:>22}: {}ms vs baseline {}ms (limit {}ms) — {}",
+            t.label, t.wall_ms, base_ms, limit, verdict
+        );
+        if let Some(fp) = base_fp {
+            if fp != &t.fingerprint {
+                ok = false;
+                println!(
+                    "  check {:>22}: fingerprint {} != baseline {} — OUTCOME CHANGED",
+                    t.label, t.fingerprint, fp
+                );
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -272,6 +350,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_elastic.json".to_string());
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let schedule = SubmissionSchedule::facebook_truncated(1000 + seed);
     println!(
@@ -308,6 +391,14 @@ fn main() {
     let json = to_json(seed, &tiers, &ablation);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if let Some(base) = check_path {
+        let all: Vec<TierReport> = tiers.into_iter().chain(ablation).collect();
+        if !check_against(&base, &all) {
+            eprintln!("elastic: wall-clock regression beyond {REGRESSION_FRAC:.0}% + {NOISE_FLOOR_MS}ms noise floor, or outcome changed");
+            std::process::exit(1);
+        }
+    }
 
     // The smoke tier only compares against static-100, which elastic
     // legitimately beats on node-hours but not necessarily on response;

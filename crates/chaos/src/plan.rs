@@ -62,6 +62,13 @@ pub enum Fault {
         /// How long the masters are suspended.
         duration: SimDuration,
     },
+    /// The master host dies outright: the Namenode+JobTracker stack goes
+    /// down and stays down until the standby's detection timeout fires
+    /// and promotes a checkpoint-restored replacement (the recovery
+    /// protocol lives in the `hog-core` mediator). On clusters without a
+    /// failover configuration the fault is recorded and ignored — the
+    /// paper's single-master deployment has nothing to promote.
+    MasterCrash,
     /// Corrupt a datanode's byte accounting by `delta_bytes` without
     /// touching its block set. Exists so the invariant
     /// [`Auditor`](crate::Auditor) can be proven live: a run with this
@@ -228,6 +235,7 @@ mod tests {
     #[test]
     fn windows_only_for_windowed_faults() {
         assert!(Fault::ZombieOutbreak { count: 1 }.window().is_none());
+        assert!(Fault::MasterCrash.window().is_none());
         assert!(Fault::MasterStall {
             duration: SimDuration::from_secs(9)
         }

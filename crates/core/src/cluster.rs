@@ -17,6 +17,7 @@
 
 use crate::config::{ClusterConfig, PlacementKind, ResourceConfig};
 use crate::event::{DoomReason, Event};
+use crate::master::{MasterStack, SingleMasterStack};
 use hog_chaos::{Auditor, ChaosFailure, Fault, ProgressSig, Watchdog};
 use hog_grid::{ElasticController, ElasticDecision, GridModel, GridNote, LossReason, PoolSnapshot};
 use hog_hdfs::datanode::DnLiveness;
@@ -149,6 +150,10 @@ struct ObsMetrics {
     pool_outstanding: MetricId,
     elastic_resizes: MetricId,
     fairness_jain: MetricId,
+    failover_recovery_ms: MetricId,
+    failover_lost_window_ms: MetricId,
+    failover_reregistrations: MetricId,
+    failover_crashes: MetricId,
     /// Per-job running-slot share series, registered lazily as jobs are
     /// submitted (`mapreduce/job<i>_slots`), indexed by `JobId`.
     job_slots: Vec<MetricId>,
@@ -179,6 +184,10 @@ impl ObsMetrics {
             pool_outstanding: reg.register(Layer::Core, "pool_outstanding"),
             elastic_resizes: reg.register(Layer::Core, "elastic_resizes"),
             fairness_jain: reg.register(Layer::MapReduce, "fairness_jain"),
+            failover_recovery_ms: reg.register(Layer::Core, "failover_recovery_ms"),
+            failover_lost_window_ms: reg.register(Layer::Core, "failover_lost_window_ms"),
+            failover_reregistrations: reg.register(Layer::Core, "failover_reregistrations"),
+            failover_crashes: reg.register(Layer::Core, "failover_crashes"),
             job_slots: Vec::new(),
             job_secs: reg.register_histogram(
                 Layer::MapReduce,
@@ -205,8 +214,8 @@ pub struct Cluster {
     topo: Topology,
     net: FluidNet,
     grid: Option<GridModel>,
-    nn: Namenode,
-    jt: JobTracker,
+    /// The Namenode + JobTracker stack behind its failover lifecycle.
+    masters: SingleMasterStack,
     rng: SimRng,
     master: NodeId,
     /// Nodes whose daemons are running (zombies included).
@@ -335,13 +344,13 @@ impl Cluster {
         let chaos_seed = cfg.seed ^ 0x686f_675f_6368_616f; // b"hog_chao"
         let chaos_audit = cfg.chaos.audit;
         let chaos_watchdog = cfg.chaos.watchdog;
+        let failover_cfg = cfg.failover;
         Cluster {
             cfg,
             topo,
             net,
             grid: None,
-            nn,
-            jt,
+            masters: SingleMasterStack::new(nn, jt, failover_cfg),
             rng,
             master,
             daemons_up: BTreeSet::new(),
@@ -405,7 +414,8 @@ impl Cluster {
                 .find(|s| s.name == site_name)
                 .map(|s| s.id)
                 .expect("anchor site not registered");
-            self.nn
+            self.masters
+                .nn
                 .set_policy(Box::new(hog_hdfs::AnchorFirstPolicy { anchor }));
         }
     }
@@ -488,8 +498,9 @@ impl Cluster {
         self.daemons_up.insert(node);
         self.slots_of.insert(node, (m, r));
         self.net.register_node(node, self.topo.site_of(node));
-        self.nn.register_datanode(now, node);
-        self.jt
+        self.masters.nn.register_datanode(now, node);
+        self.masters
+            .jt
             .register_tracker(now, node, self.topo.site_of(node), m, r);
     }
 
@@ -516,12 +527,12 @@ impl Cluster {
 
     /// Namenode access (reports).
     pub fn namenode(&self) -> &Namenode {
-        &self.nn
+        &self.masters.nn
     }
 
     /// JobTracker access (reports).
     pub fn jobtracker(&self) -> &JobTracker {
-        &self.jt
+        &self.masters.jt
     }
 
     /// Grid access (reports), if this cluster runs on the grid.
@@ -539,8 +550,10 @@ impl Cluster {
     pub fn missing_input_blocks(&self) -> usize {
         self.input_files
             .iter()
-            .flat_map(|&f| self.nn.blocks_of(f))
-            .filter(|&&b| self.nn.block(b).expected > 0 && self.nn.block(b).is_missing())
+            .flat_map(|&f| self.masters.nn.blocks_of(f))
+            .filter(|&&b| {
+                self.masters.nn.block(b).expected > 0 && self.masters.nn.block(b).is_missing()
+            })
             .count()
     }
 
@@ -560,6 +573,7 @@ impl Cluster {
         let block = self.cfg.hdfs.block_size;
         for (i, spec) in self.schedule.iter().enumerate() {
             let f = self
+                .masters
                 .nn
                 .create_file(format!("/in/job{i}"), self.cfg.hdfs.replication);
             self.input_files.push(f);
@@ -574,7 +588,7 @@ impl Cluster {
             let Some((file, size)) = self.upload_queue.pop_front() else {
                 break;
             };
-            match self.nn.allocate_block(file, size, None, &self.topo) {
+            match self.masters.nn.allocate_block(file, size, None, &self.topo) {
                 Some((block, targets)) => {
                     self.upload_in_flight += 1;
                     self.start_write(sched, WriteOwner::Upload, file, block, size, targets, None);
@@ -594,13 +608,15 @@ impl Cluster {
 
     fn finish_upload(&mut self, sched: &mut Scheduler<'_, Event>) {
         for &f in &self.input_files {
-            self.nn.complete_file(f);
+            self.masters.nn.complete_file(f);
         }
         if std::env::var("HOG_DEBUG_WRITES").is_ok() {
             let mut hist = std::collections::BTreeMap::new();
             for &f in &self.input_files {
-                for &b in self.nn.blocks_of(f) {
-                    *hist.entry(self.nn.block(b).replicas.len()).or_insert(0u32) += 1;
+                for &b in self.masters.nn.blocks_of(f) {
+                    *hist
+                        .entry(self.masters.nn.block(b).replicas.len())
+                        .or_insert(0u32) += 1;
                 }
             }
             eprintln!("upload done at {}: replica histogram {hist:?}", sched.now());
@@ -611,6 +627,14 @@ impl Cluster {
                 .with("to", "running")
                 .with("files", self.input_files.len())
         });
+        // Checkpoint zero: the standby always has at least the complete
+        // post-upload state, so even an immediate crash restores a master
+        // that knows every input file. (Mirror mode needs no snapshots.)
+        if self.masters.failover().is_some_and(|f| !f.is_mirror()) {
+            self.masters.take_checkpoint(sched.now());
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Core, "master_checkpoint").with("count", 1usize));
+        }
         let base = sched.now();
         self.workload_start = Some(base + (self.schedule[0].submit_at - SimTime::ZERO));
         // Build the dispatch plan instead of pushing every event now: the
@@ -797,7 +821,7 @@ impl Cluster {
         }
         let mut st = self.writes.remove(&write).unwrap();
         st.written = surviving;
-        self.nn.commit_block(st.block, &st.written);
+        self.masters.nn.commit_block(st.block, &st.written);
         match st.owner {
             WriteOwner::Upload => {
                 self.upload_in_flight -= 1;
@@ -806,8 +830,8 @@ impl Cluster {
                 sched.now_event(Event::PumpUpload);
             }
             WriteOwner::ReduceOutput { attempt } => {
-                self.nn.complete_file(st.file);
-                let notes = self.jt.reduce_done(sched.now(), attempt);
+                self.masters.nn.complete_file(st.file);
+                let notes = self.masters.jt.reduce_done(sched.now(), attempt);
                 self.reduce_out.remove(&attempt);
                 self.handle_notes(sched, notes);
             }
@@ -829,7 +853,7 @@ impl Cluster {
         }
         self.writes.remove(&write);
         // The failed allocation leaves the namespace entirely.
-        self.nn.abandon_block(old_block);
+        self.masters.nn.abandon_block(old_block);
         let writer = match owner {
             WriteOwner::Upload => None,
             WriteOwner::ReduceOutput { attempt } => Some(self.attempt_node(attempt)),
@@ -839,6 +863,7 @@ impl Cluster {
         let writer_gone = writer.is_some_and(|w| !self.node_reachable(w));
         if retries < 3 && !writer_gone {
             if let Some((block, targets)) = self
+                .masters
                 .nn
                 .allocate_block_excluding(file, size, writer, &excluded, &self.topo)
             {
@@ -890,9 +915,10 @@ impl Cluster {
                 sched.now_event(Event::PumpUpload);
             }
             WriteOwner::ReduceOutput { attempt } => {
-                let notes = self
-                    .jt
-                    .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
+                let notes =
+                    self.masters
+                        .jt
+                        .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
                 self.reduce_out.remove(&attempt);
                 self.handle_notes(sched, notes);
             }
@@ -927,7 +953,7 @@ impl Cluster {
         }
         match ctx {
             FlowCtx::MapInput { attempt } => {
-                if !self.jt.attempt_active(attempt) {
+                if !self.masters.jt.attempt_active(attempt) {
                     return;
                 }
                 let Some(meta) = self.map_meta.get(&attempt).copied() else {
@@ -948,18 +974,18 @@ impl Cluster {
                 }
             }
             FlowCtx::Shuffle { attempt, order } => {
-                if !self.jt.attempt_active(attempt) {
+                if !self.masters.jt.attempt_active(attempt) {
                     return;
                 }
                 if ok {
-                    self.jt.fetch_done(attempt, order);
+                    self.masters.jt.fetch_done(attempt, order);
                 } else {
-                    self.jt.fetch_failed(attempt, order, &self.topo);
+                    self.masters.jt.fetch_failed(attempt, order, &self.topo);
                 }
                 self.drive_reduce(sched, attempt);
             }
             FlowCtx::Repl { block, src, dst } => {
-                self.nn.repl_done(block, src, dst, ok);
+                self.masters.nn.repl_done(block, src, dst, ok);
             }
             FlowCtx::Balancer { block, src, dst } => {
                 if ok && self.node_usable(dst) {
@@ -969,8 +995,8 @@ impl Cluster {
                     // `repl_done` also decrements both ends' replication
                     // stream counters; balancer moves never incremented
                     // them, which is safe because the decrement saturates.
-                    self.nn.repl_done(block, src, dst, true);
-                    self.nn.report_bad_replica(block, src);
+                    self.masters.nn.repl_done(block, src, dst, true);
+                    self.masters.nn.report_bad_replica(block, src);
                 }
                 // Failed moves are simply abandoned; the balancer re-plans
                 // on its next tick.
@@ -1046,7 +1072,7 @@ impl Cluster {
             self.zombies.insert(node);
             self.tracer
                 .emit(|| TraceEvent::new(Layer::Core, "zombie_spawn").with("node", node.0));
-            self.nn.mark_storage_failed(node);
+            self.masters.nn.mark_storage_failed(node);
         } else {
             self.shutdown_daemons(node, sched);
         }
@@ -1063,8 +1089,8 @@ impl Cluster {
         // Mark the masters' views FIRST: killed-flow handlers below may
         // retry writes, and the namenode must not hand the dead node out
         // as a fresh pipeline target.
-        self.nn.mark_silent(sched.now(), node);
-        self.jt.tracker_silent(sched.now(), node);
+        self.masters.nn.mark_silent(sched.now(), node);
+        self.masters.jt.tracker_silent(sched.now(), node);
         let killed = self.net.remove_node(sched.now(), node);
         for end in killed {
             self.on_flow_end(sched, end);
@@ -1077,7 +1103,7 @@ impl Cluster {
     // ==================================================================
 
     fn attempt_node(&self, att: AttemptRef) -> NodeId {
-        self.jt.job(att.task.job).task(att.task).attempts[att.attempt as usize].node
+        self.masters.jt.job(att.task.job).task(att.task).attempts[att.attempt as usize].node
     }
 
     fn start_assignments(
@@ -1146,7 +1172,11 @@ impl Cluster {
         }
         let rtt = self.net.latency(self.master, meta.node) * 2;
         loop {
-            match self.nn.pick_read_source(meta.block, meta.node, &self.topo) {
+            match self
+                .masters
+                .nn
+                .pick_read_source(meta.block, meta.node, &self.topo)
+            {
                 None => {
                     sched.after(
                         rtt + SimDuration::from_secs(1),
@@ -1157,10 +1187,10 @@ impl Cluster {
                     );
                     return;
                 }
-                Some(src) if self.nn.storage_failed(src) => {
+                Some(src) if self.masters.nn.storage_failed(src) => {
                     // Zombie replica: the read fails fast and the client
                     // reports the bad replica, then tries the next one.
-                    self.nn.report_bad_replica(meta.block, src);
+                    self.masters.nn.report_bad_replica(meta.block, src);
                     continue;
                 }
                 Some(src) if src == meta.node => {
@@ -1186,7 +1216,7 @@ impl Cluster {
     }
 
     fn on_map_compute_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
-        if !self.jt.attempt_active(attempt) {
+        if !self.masters.jt.attempt_active(attempt) {
             return;
         }
         let Some(meta) = self.map_meta.get(&attempt).copied() else {
@@ -1195,9 +1225,10 @@ impl Cluster {
         if !self.node_reachable(meta.node) {
             return;
         }
-        if !self.jt.reserve_map_scratch(attempt, meta.node) {
+        if !self.masters.jt.reserve_map_scratch(attempt, meta.node) {
             // Out of local disk: the §IV-D.2 failure mode.
             let notes = self
+                .masters
                 .jt
                 .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
             self.map_meta.remove(&attempt);
@@ -1213,32 +1244,35 @@ impl Cluster {
     }
 
     fn on_map_spill_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
-        if !self.jt.attempt_active(attempt) {
+        if !self.masters.jt.attempt_active(attempt) {
             return;
         }
         let node = self.attempt_node(attempt);
         if !self.node_reachable(node) {
             return;
         }
-        let out = self.jt.map_done(sched.now(), attempt, &self.topo);
+        let out = self.masters.jt.map_done(sched.now(), attempt, &self.topo);
         self.map_meta.remove(&attempt);
         self.handle_notes(sched, out.notes);
         for r in out.wake_reduces {
             self.drive_reduce(sched, r);
         }
-        let notes = self.jt.try_complete_maponly(sched.now(), attempt.task.job);
+        let notes = self
+            .masters
+            .jt
+            .try_complete_maponly(sched.now(), attempt.task.job);
         self.handle_notes(sched, notes);
     }
 
     fn drive_reduce(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
-        if !self.jt.attempt_active(attempt) {
+        if !self.masters.jt.attempt_active(attempt) {
             return;
         }
         let node = self.attempt_node(attempt);
         if !self.node_reachable(node) {
             return;
         }
-        match self.jt.reduce_next(attempt) {
+        match self.masters.jt.reduce_next(attempt) {
             ReduceStep::Fetch(orders) => {
                 for (id, order) in orders {
                     let usable = self.node_usable(order.src_rep);
@@ -1280,7 +1314,7 @@ impl Cluster {
     }
 
     fn on_reduce_sort_done(&mut self, sched: &mut Scheduler<'_, Event>, attempt: AttemptRef) {
-        if !self.jt.attempt_active(attempt) {
+        if !self.masters.jt.attempt_active(attempt) {
             return;
         }
         let node = self.attempt_node(attempt);
@@ -1294,8 +1328,12 @@ impl Cluster {
             "/out/j{}/r{}-a{}",
             attempt.task.job.0, attempt.task.index, attempt.attempt
         );
-        let file = self.nn.create_file(path, repl);
-        match self.nn.allocate_block(file, bytes, Some(node), &self.topo) {
+        let file = self.masters.nn.create_file(path, repl);
+        match self
+            .masters
+            .nn
+            .allocate_block(file, bytes, Some(node), &self.topo)
+        {
             Some((block, targets)) => {
                 self.start_write(
                     sched,
@@ -1308,9 +1346,10 @@ impl Cluster {
                 );
             }
             None => {
-                let notes = self
-                    .jt
-                    .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
+                let notes =
+                    self.masters
+                        .jt
+                        .attempt_failed(sched.now(), attempt, FailReason::DiskFull);
                 self.handle_notes(sched, notes);
             }
         }
@@ -1347,6 +1386,13 @@ impl Cluster {
     }
 
     fn on_job_terminal(&mut self, sched: &mut Scheduler<'_, Event>, job: JobId, ok: bool) {
+        // A job "completing" while the master is down completed against
+        // the crashed master's ledger: nobody can report it to the client
+        // and its output namespace dies with the ghost. The restored
+        // ledger re-runs it after promotion.
+        if self.masters.is_down() {
+            return;
+        }
         let Some(&idx) = self.job_of_schedule.get(&job) else {
             return;
         };
@@ -1371,12 +1417,22 @@ impl Cluster {
     }
 
     fn on_submit_job(&mut self, sched: &mut Scheduler<'_, Event>, index: usize) {
+        // Master down: the client's submission RPC fails. Instead of
+        // failing the job it buffers and retries with backoff, exactly
+        // like a `JobClient` looping on connect.
+        if self.masters.is_down() {
+            self.masters.stats.buffered_submissions += 1;
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Core, "submit_buffered").with("index", index));
+            sched.after(self.cfg.mr.retry_backoff, Event::SubmitJob { index });
+            return;
+        }
         let file = self.input_files[index];
-        let blocks = self.nn.blocks_of(file).to_vec();
+        let blocks = self.masters.nn.blocks_of(file).to_vec();
         let mut input_blocks = Vec::with_capacity(blocks.len());
         let mut split_locations = Vec::with_capacity(blocks.len());
         for b in blocks {
-            let meta = self.nn.block(b);
+            let meta = self.masters.nn.block(b);
             input_blocks.push((b, meta.size));
             split_locations.push(meta.replicas.iter().copied().collect::<Vec<_>>());
         }
@@ -1396,11 +1452,14 @@ impl Cluster {
             },
             output_replication: lg.output_replication,
         };
-        let jid = self.jt.submit_job(sched.now(), submission, &self.topo);
+        let jid = self
+            .masters
+            .jt
+            .submit_job(sched.now(), submission, &self.topo);
         self.job_of_schedule.insert(jid, index);
         // A job whose input vanished entirely (zero blocks uploaded) can
         // never run; terminal-fail it immediately.
-        if self.schedule[index].maps > 0 && self.jt.job(jid).spec.maps() == 0 {
+        if self.schedule[index].maps > 0 && self.masters.jt.job(jid).spec.maps() == 0 {
             self.job_results[index] = Some((sched.now(), false));
             self.finished_jobs += 1;
             if self.finished_jobs == self.schedule.len() {
@@ -1450,9 +1509,9 @@ impl Cluster {
             let (Some(ctl), Some(grid)) = (self.elastic.as_mut(), self.grid.as_ref()) else {
                 return;
             };
-            let b = self.jt.backlog();
+            let b = self.masters.jt.backlog();
             let snap = PoolSnapshot {
-                reported_live: self.jt.reported_live(),
+                reported_live: self.masters.jt.reported_live(),
                 outstanding: grid.outstanding_count(),
                 pending_maps: b.pending_maps,
                 running_maps: b.running_maps,
@@ -1504,8 +1563,8 @@ impl Cluster {
             .iter()
             .copied()
             .filter(|n| !self.zombies.contains(n))
-            .filter(|&n| !self.jt.tracker_busy(n))
-            .map(|n| (self.jt.site_penalty(self.topo.site_of(n), now), n))
+            .filter(|&n| !self.masters.jt.tracker_busy(n))
+            .map(|n| (self.masters.jt.site_penalty(self.topo.site_of(n), now), n))
             .collect();
         ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
         let mut victims: Vec<NodeId> = Vec::with_capacity(n);
@@ -1525,11 +1584,11 @@ impl Cluster {
     /// Whether every block on `node` keeps at least one live replica
     /// after removing `node` and every already-planned victim.
     fn replicas_survive_without(&self, node: NodeId, planned: &HashSet<NodeId>) -> bool {
-        let Some(dn) = self.nn.datanode(node) else {
+        let Some(dn) = self.masters.nn.datanode(node) else {
             return true;
         };
         dn.blocks.iter().all(|&b| {
-            let meta = self.nn.block(b);
+            let meta = self.masters.nn.block(b);
             meta.expected == 0
                 || meta
                     .replicas
@@ -1588,8 +1647,8 @@ impl Cluster {
         self.partitioned.remove(&node);
         self.straggle.remove(&node);
         self.slots_of.remove(&node);
-        self.nn.mark_silent(sched.now(), node);
-        let notes = self.jt.decommission_tracker(sched.now(), node);
+        self.masters.nn.mark_silent(sched.now(), node);
+        let notes = self.masters.jt.decommission_tracker(sched.now(), node);
         let killed = self.net.remove_node(sched.now(), node);
         for end in killed {
             self.on_flow_end(sched, end);
@@ -1601,7 +1660,7 @@ impl Cluster {
     /// One balancer iteration: plan moves toward mean utilisation and
     /// execute them as copy-then-drop transfers.
     fn on_balancer_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
-        let plan = hog_hdfs::balancer::plan(&self.nn, &self.topo, 0.10, 32);
+        let plan = hog_hdfs::balancer::plan(&self.masters.nn, &self.topo, 0.10, 32);
         for mv in plan.moves {
             if !self.node_reachable(mv.src) || !self.node_usable(mv.dst) {
                 continue;
@@ -1624,10 +1683,23 @@ impl Cluster {
     fn on_master_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
         let stalled = self
             .master_stalled_until
-            .is_some_and(|until| sched.now() < until);
+            .is_some_and(|until| sched.now() < until)
+            || self.masters.is_down();
+        // Periodic checkpoint: only while the workload runs (the initial
+        // checkpoint is taken at upload completion) and only from a
+        // healthy master — a stalled master's checkpoint thread is just
+        // as suspended as the rest of it, so a `MasterStall` delays the
+        // cadence instead of snapshotting mid-stall state twice.
+        if !stalled && self.phase == RunPhase::Running && self.masters.checkpoint_due(sched.now()) {
+            self.masters.take_checkpoint(sched.now());
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::Core, "master_checkpoint")
+                    .with("count", self.masters.stats.checkpoints.len())
+            });
+        }
         if !stalled {
             // Namenode: death detection + replication orders.
-            let tick = self.nn.tick(sched.now(), &self.topo);
+            let tick = self.masters.nn.tick(sched.now(), &self.topo);
             for ReplOrder {
                 block,
                 src,
@@ -1635,30 +1707,30 @@ impl Cluster {
                 bytes,
             } in tick.orders
             {
-                if self.nn.storage_failed(src) || !self.node_reachable(src) {
+                if self.masters.nn.storage_failed(src) || !self.node_reachable(src) {
                     // Zombie or just-died source: the transfer fails fast.
-                    self.nn.repl_done(block, src, dst, false);
+                    self.masters.nn.repl_done(block, src, dst, false);
                     continue;
                 }
                 if !self.node_reachable(dst) {
-                    self.nn.repl_done(block, src, dst, false);
+                    self.masters.nn.repl_done(block, src, dst, false);
                     continue;
                 }
                 let fid = self.net.start_flow(sched.now(), src, dst, bytes, 0);
                 self.flows.insert(fid, FlowCtx::Repl { block, src, dst });
             }
             // JobTracker: dead trackers.
-            let (_dead, notes) = self.jt.check_dead(sched.now());
+            let (_dead, notes) = self.masters.jt.check_dead(sched.now());
             self.handle_notes(sched, notes);
         }
         // Series sampling (the Fig. 5 curves).
         self.reported_series
-            .record(sched.now(), self.jt.reported_live() as f64);
+            .record(sched.now(), self.masters.jt.reported_live() as f64);
         let usable = self.daemons_up.len() - self.zombies.len();
         self.actual_series.record(sched.now(), usable as f64);
         self.tracer.emit(|| {
             TraceEvent::new(Layer::Core, "master_tick")
-                .with("reported", self.jt.reported_live())
+                .with("reported", self.masters.jt.reported_live())
                 .with("usable", usable)
                 .with("stalled", stalled)
         });
@@ -1667,10 +1739,10 @@ impl Cluster {
         if !stalled {
             if let Some(ad) = &mut self.adaptive {
                 if let Some(factor) = ad.update(sched.now(), self.daemons_up.len().max(1)) {
-                    self.nn.set_default_replication(factor);
+                    self.masters.nn.set_default_replication(factor);
                     let files = self.input_files.clone();
                     for f in files {
-                        self.nn.set_file_replication(f, factor);
+                        self.masters.nn.set_file_replication(f, factor);
                     }
                     self.adaptive_changes.push((sched.now(), factor));
                 }
@@ -1699,23 +1771,33 @@ impl Cluster {
         let sig = self.progress_sig();
         let usable = self.daemons_up.len() - self.zombies.len();
         let zombies = self.zombies.len();
-        let reported = self.jt.reported_live();
+        let reported = self.masters.jt.reported_live();
         let missing = self.missing_input_blocks();
         let flows_active = self.flows.len();
-        let jtc = self.jt.counters();
+        let jtc = self.masters.jt.counters();
         let target = self.target_nodes;
         let outstanding = self.grid.as_ref().map_or(0, |g| g.outstanding_count());
         let resizes = self
             .elastic
             .as_ref()
             .map_or(0, |c| c.resize_counts().0 + c.resize_counts().1);
-        let fairness = self.jt.jain_fairness();
-        let shares: Vec<(JobId, u32)> = self.jt.job_shares().collect();
+        let fairness = self.masters.jt.jain_fairness();
+        let shares: Vec<(JobId, u32)> = self.masters.jt.job_shares().collect();
+        let fo = self.masters.stats.clone();
         let m = self.obs_metrics.as_mut().unwrap();
         m.reg.set(m.pool_target, target as f64);
         m.reg.set(m.pool_outstanding, outstanding as f64);
         m.reg.set(m.elastic_resizes, resizes as f64);
         m.reg.set(m.fairness_jain, fairness);
+        m.reg
+            .set(m.failover_recovery_ms, fo.total_recovery.as_millis() as f64);
+        m.reg.set(
+            m.failover_lost_window_ms,
+            fo.total_lost_window.as_millis() as f64,
+        );
+        m.reg
+            .set(m.failover_reregistrations, fo.reregistrations as f64);
+        m.reg.set(m.failover_crashes, fo.crashes as f64);
         // Per-job slot shares: register a series the first tick a job id
         // appears; completed jobs drop out of the share list and read 0.
         if let Some(max_id) = shares.iter().map(|&(j, _)| j.0 as usize).max() {
@@ -1752,6 +1834,190 @@ impl Cluster {
     }
 
     // ==================================================================
+    // Master failover: crash, standby promotion, recovery protocol
+    // ==================================================================
+
+    /// The master host dies ([`Fault::MasterCrash`]). With no failover
+    /// configuration the fault is recorded and ignored; in mirror mode
+    /// the synchronous standby absorbs it with zero downtime; otherwise
+    /// the stack goes down and the standby's detection timeout starts.
+    fn on_master_crash(&mut self, sched: &mut Scheduler<'_, Event>) {
+        let went_down = self.masters.crash(sched.now());
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "master_crash")
+                .with("downtime", went_down)
+                .with("configured", self.masters.failover().is_some())
+        });
+        if went_down {
+            let detection = self
+                .masters
+                .failover()
+                .expect("crash() only reports downtime when failover is configured")
+                .detection_timeout;
+            sched.after(detection, Event::MasterPromote);
+        }
+    }
+
+    /// The standby noticed the active master is gone: restore the latest
+    /// checkpoint as the live Namenode+JobTracker and reconcile it with
+    /// physical reality. The crashed masters' final state (the *ghosts*)
+    /// is the ground truth for what is actually on the workers' disks.
+    ///
+    /// Protocol, in order:
+    ///
+    /// 1. abandon every transfer the dead master orchestrated;
+    /// 2. kill-all in the restored ledger (Hadoop 0.20 JT-restart model):
+    ///    every attempt the checkpoint believed running is requeued;
+    /// 3. align the restored ledger with outcomes the client already
+    ///    observed, and schedule client resubmission of jobs whose
+    ///    submission died with the crashed master (lost edit window);
+    /// 4. pad attempt ordinals/job ids against the ghost so stale events
+    ///    and output paths can never alias new work;
+    /// 5. datanodes re-register and replay block reports (ghost block
+    ///    sets = what disks really hold); unreachable nodes go silent;
+    /// 6. trackers re-register with fresh heartbeats; scratch accounting
+    ///    is rebuilt from the surviving ledger.
+    fn on_master_promote(&mut self, sched: &mut Scheduler<'_, Event>) {
+        let now = sched.now();
+        let Some(promoted) = self.masters.promote(now) else {
+            return; // stale event: the stack was not down
+        };
+        let ghost_nn = promoted.ghost_nn;
+        let ghost_jt = promoted.ghost_jt;
+
+        // 1. Every in-flight transfer was orchestrated by the dead
+        // master (replication orders, shuffle fetches it planned, write
+        // pipelines it allocated): abandon them all. Completions that
+        // were already queued find no context and fall through.
+        let active: Vec<FlowId> = {
+            let mut v: Vec<FlowId> = self.flows.keys().copied().collect();
+            v.sort_by_key(|f| f.0);
+            v
+        };
+        for fid in active {
+            self.net.cancel_flow(now, fid);
+        }
+        self.flows.clear();
+        self.attempt_flows.clear();
+        self.writes.clear();
+        self.map_meta.clear();
+        self.reduce_out.clear();
+
+        // 2. Kill-all in the restored ledger.
+        let restored_jobs = self.masters.jt.job_count();
+        let killed = self.masters.jt.recover_kill_all();
+
+        // 3. Reconcile with what the client observed. Jobs the mediator
+        // already recorded terminal (completed after the checkpoint,
+        // before the crash) stay terminal — the client has the answer.
+        // Jobs submitted after the checkpoint are gone from the restored
+        // ledger entirely: their ids are retired and, unless they
+        // finished before the crash, the client resubmits after backoff.
+        let mut entries: Vec<(JobId, usize)> =
+            self.job_of_schedule.iter().map(|(&j, &i)| (j, i)).collect();
+        entries.sort_by_key(|&(j, i)| (j.0, i));
+        let mut resubmitted = 0u64;
+        for (jid, idx) in entries {
+            if (jid.0 as usize) < restored_jobs {
+                if let Some((t, ok)) = self.job_results[idx] {
+                    self.masters.jt.recover_force_terminal(now, jid, t, ok);
+                }
+            } else {
+                self.job_of_schedule.remove(&jid);
+                if self.job_results[idx].is_none() {
+                    resubmitted += 1;
+                    sched.after(self.cfg.mr.retry_backoff, Event::SubmitJob { index: idx });
+                }
+            }
+        }
+
+        // 4. Ordinal/id padding against the ghost.
+        self.masters.jt.recover_align_with_ghost(&ghost_jt, now);
+
+        // 5. Namenode recovery: reachable datanodes re-register and
+        // replay what their disks actually hold (the ghost's view —
+        // updated through the downtime as nodes came and went). Zombies
+        // replay then re-flag storage failure: the restored namenode can
+        // no more tell them apart than the original could (§IV-D.1).
+        let reachable: Vec<NodeId> = self
+            .daemons_up
+            .iter()
+            .copied()
+            .filter(|&n| !self.partitioned.contains(&n))
+            .collect();
+        let mut rereg = 0u64;
+        for &n in &reachable {
+            let report: Vec<BlockId> = ghost_nn
+                .datanode(n)
+                .map(|d| d.blocks.iter().copied().collect())
+                .unwrap_or_default();
+            self.masters.nn.replay_block_report(now, n, &report);
+            if self.zombies.contains(&n) {
+                self.masters.nn.mark_storage_failed(n);
+            }
+            rereg += 1;
+        }
+        // Nodes the checkpoint believed live but that are unreachable
+        // now (partitioned, or lost during the downtime) go silent; the
+        // normal dead-node machinery takes it from there.
+        let mut silent: Vec<NodeId> = self
+            .masters
+            .nn
+            .datanodes()
+            .filter(|&(n, d)| {
+                d.liveness == DnLiveness::Live
+                    && (!self.daemons_up.contains(&n) || self.partitioned.contains(&n))
+            })
+            .map(|(n, _)| n)
+            .collect();
+        silent.sort_by_key(|n| n.0);
+        for n in silent {
+            self.masters.nn.mark_silent(now, n);
+        }
+        self.masters.nn.rebuild_replication_state();
+
+        // 6. JobTracker recovery: reachable trackers re-register with
+        // fresh heartbeats (checkpoint-stale timestamps would trip mass
+        // death detection on the first tick); known-but-unreachable ones
+        // go silent; scratch accounting is rebuilt from the ledger.
+        for &n in &reachable {
+            let (m, r) = self.slots_of.get(&n).copied().unwrap_or((1, 1));
+            self.masters
+                .jt
+                .register_tracker(now, n, self.topo.site_of(n), m, r);
+            rereg += 1;
+        }
+        let mut tracker_silent: Vec<NodeId> = self
+            .daemons_up
+            .iter()
+            .copied()
+            .filter(|&n| self.partitioned.contains(&n) && self.masters.jt.tracker_live(n))
+            .collect();
+        tracker_silent.sort_by_key(|n| n.0);
+        for n in tracker_silent {
+            self.masters.jt.tracker_silent(now, n);
+        }
+        self.masters.jt.recover_rebuild_scratch();
+
+        self.masters.stats.reregistrations += rereg;
+        self.masters.stats.resubmissions += resubmitted;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Core, "master_promote")
+                .with("killed_attempts", killed)
+                .with("reregistrations", rereg)
+                .with("resubmissions", resubmitted)
+                .with("restored_jobs", restored_jobs)
+        });
+        self.arm_net(sched);
+    }
+
+    /// Failover accounting (crashes, promotions, recovery/lost-window
+    /// durations, re-registration storms).
+    pub fn failover_stats(&self) -> &crate::master::FailoverStats {
+        self.masters.stats()
+    }
+
+    // ==================================================================
     // Chaos: fault injection, invariant auditing, livelock detection
     // ==================================================================
 
@@ -1771,6 +2037,7 @@ impl Cluster {
             Fault::ZombieOutbreak { .. } => "zombie_outbreak",
             Fault::Straggler { .. } => "straggler",
             Fault::MasterStall { .. } => "master_stall",
+            Fault::MasterCrash => "master_crash",
             Fault::CorruptAccounting { .. } => "corrupt_accounting",
         }
     }
@@ -1822,8 +2089,8 @@ impl Cluster {
                     // Daemons stay up, but nothing gets through: both
                     // masters see silence, and every flow touching the
                     // node dies.
-                    self.nn.mark_silent(sched.now(), n);
-                    self.jt.tracker_silent(sched.now(), n);
+                    self.masters.nn.mark_silent(sched.now(), n);
+                    self.masters.jt.tracker_silent(sched.now(), n);
                     let killed = self.net.remove_node(sched.now(), n);
                     for end in killed {
                         self.on_flow_end(sched, end);
@@ -1846,7 +2113,7 @@ impl Cluster {
                 self.chaos_rng.shuffle(&mut candidates);
                 for n in candidates.into_iter().take(count) {
                     self.zombies.insert(n);
-                    self.nn.mark_storage_failed(n);
+                    self.masters.nn.mark_storage_failed(n);
                 }
             }
             Fault::Straggler {
@@ -1868,11 +2135,12 @@ impl Cluster {
             Fault::MasterStall { duration } => {
                 self.master_stalled_until = Some(sched.now() + duration);
             }
+            Fault::MasterCrash => self.on_master_crash(sched),
             Fault::CorruptAccounting { delta_bytes } => {
                 // Deliberately breaks the namenode's books so the auditor
                 // has something real to catch (negative-testing fault).
                 if let Some(&n) = self.daemons_up.iter().next() {
-                    self.nn.debug_skew_used(n, delta_bytes);
+                    self.masters.nn.debug_skew_used(n, delta_bytes);
                 }
             }
         }
@@ -1899,6 +2167,7 @@ impl Cluster {
                     }
                     self.net.register_node(n, self.topo.site_of(n));
                     let dn_dead = self
+                        .masters
                         .nn
                         .datanode(n)
                         .is_none_or(|d| d.liveness == DnLiveness::Dead);
@@ -1906,17 +2175,22 @@ impl Cluster {
                         // The namenode wrote the node off (and dropped its
                         // block accounting); it reports back in empty, as
                         // a restarted datanode would.
-                        self.nn.register_datanode(sched.now(), n);
+                        self.masters.nn.register_datanode(sched.now(), n);
                         if self.zombies.contains(&n) {
-                            self.nn.mark_storage_failed(n);
+                            self.masters.nn.mark_storage_failed(n);
                         }
                     } else {
-                        self.nn.mark_live(sched.now(), n);
+                        self.masters.nn.mark_live(sched.now(), n);
                     }
-                    if !self.jt.tracker_live(n) {
+                    if !self.masters.jt.tracker_live(n) {
                         let (m, r) = self.slots_of.get(&n).copied().unwrap_or((1, 1));
-                        self.jt
-                            .register_tracker(sched.now(), n, self.topo.site_of(n), m, r);
+                        self.masters.jt.register_tracker(
+                            sched.now(),
+                            n,
+                            self.topo.site_of(n),
+                            m,
+                            r,
+                        );
                     }
                 }
                 self.arm_net(sched);
@@ -1935,8 +2209,12 @@ impl Cluster {
         if self.chaos_failure.is_some() {
             return;
         }
-        if self.auditor.is_some() {
-            let mut violations = hog_chaos::collect_violations(&[&self.net, &self.nn, &self.jt]);
+        // While the master stack is down its liveness beliefs are frozen
+        // at crash time; auditing a dead master against live ground truth
+        // is meaningless (promotion reconciles the views).
+        if self.auditor.is_some() && !self.masters.is_down() {
+            let mut violations =
+                hog_chaos::collect_violations(&[&self.net, &self.masters.nn, &self.masters.jt]);
             violations.extend(self.cross_layer_violations());
             if let Some(aud) = &mut self.auditor {
                 if let Some(f) = aud.observe(now, violations) {
@@ -1968,7 +2246,7 @@ impl Cluster {
     /// must agree with the mediator's ground truth.
     fn cross_layer_violations(&self) -> Vec<Violation> {
         let mut v = Vec::new();
-        for (n, dn) in self.nn.datanodes() {
+        for (n, dn) in self.masters.nn.datanodes() {
             if dn.liveness == DnLiveness::Live && !self.node_reachable(n) {
                 v.push(Violation::new(
                     "cluster",
@@ -1977,7 +2255,7 @@ impl Cluster {
             }
         }
         for &n in self.daemons_up.iter() {
-            if self.jt.tracker_live(n) && self.partitioned.contains(&n) {
+            if self.masters.jt.tracker_live(n) && self.partitioned.contains(&n) {
                 v.push(Violation::new(
                     "cluster",
                     format!("jobtracker believes {n:?} is Live across a partition"),
@@ -1991,12 +2269,12 @@ impl Cluster {
     fn progress_sig(&self) -> ProgressSig {
         let mut maps_done = 0u64;
         let mut reduces_done = 0u64;
-        for i in 0..self.jt.job_count() {
-            let job = self.jt.job(JobId(i as u32));
+        for i in 0..self.masters.jt.job_count() {
+            let job = self.masters.jt.job(JobId(i as u32));
             maps_done += job.maps_done as u64;
             reduces_done += job.reduces_done as u64;
         }
-        let jtc = self.jt.counters();
+        let jtc = self.masters.jt.counters();
         ProgressSig {
             phase: self.phase as u8,
             pool_size: self
@@ -2010,7 +2288,7 @@ impl Cluster {
             maps_done,
             reduces_done,
             task_failures: jtc.failures,
-            repl_completed: self.nn.counters().0,
+            repl_completed: self.masters.nn.counters().0,
             flows_finished: self.flows_done,
         }
     }
@@ -2076,13 +2354,13 @@ impl Model for Cluster {
                 }
                 // A partitioned worker keeps its daemons (and this timer)
                 // alive, but its heartbeats never reach the JobTracker; a
-                // stalled master receives nothing. Either way the masters'
-                // timeout machinery sees silence.
+                // stalled or crashed master receives nothing. Either way
+                // the masters' timeout machinery sees silence.
                 let stalled = self
                     .master_stalled_until
                     .is_some_and(|until| sched.now() < until);
-                if !self.partitioned.contains(&node) && !stalled {
-                    let assignments = self.jt.heartbeat(sched.now(), node, &self.topo);
+                if !self.partitioned.contains(&node) && !stalled && !self.masters.is_down() {
+                    let assignments = self.masters.jt.heartbeat(sched.now(), node, &self.topo);
                     self.start_assignments(sched, node, assignments);
                 }
                 sched.after(self.cfg.mr.heartbeat_interval, Event::Heartbeat { node });
@@ -2103,7 +2381,7 @@ impl Model for Cluster {
                 }
             }
             Event::MapInputReady { attempt } => {
-                if !self.jt.attempt_active(attempt) {
+                if !self.masters.jt.attempt_active(attempt) {
                     return;
                 }
                 let Some(meta) = self.map_meta.get(&attempt).copied() else {
@@ -2122,14 +2400,14 @@ impl Model for Cluster {
             Event::MapSpillDone { attempt } => self.on_map_spill_done(sched, attempt),
             Event::ReduceSortDone { attempt } => self.on_reduce_sort_done(sched, attempt),
             Event::FetchTimeout { attempt, order } => {
-                if !self.jt.attempt_active(attempt) {
+                if !self.masters.jt.attempt_active(attempt) {
                     return;
                 }
-                self.jt.fetch_failed(attempt, order, &self.topo);
+                self.masters.jt.fetch_failed(attempt, order, &self.topo);
                 self.drive_reduce(sched, attempt);
             }
             Event::AttemptDoomed { attempt, reason } => {
-                if !self.jt.attempt_active(attempt) {
+                if !self.masters.jt.attempt_active(attempt) {
                     return;
                 }
                 let fr = match reason {
@@ -2142,7 +2420,7 @@ impl Model for Cluster {
                         FailReason::LostBlock
                     }
                 };
-                let notes = self.jt.attempt_failed(sched.now(), attempt, fr);
+                let notes = self.masters.jt.attempt_failed(sched.now(), attempt, fr);
                 self.handle_notes(sched, notes);
             }
             Event::SubmitJob { index } => {
@@ -2160,6 +2438,7 @@ impl Model for Cluster {
                 self.pump_dispatch(sched);
                 self.on_chaos_end(sched, index)
             }
+            Event::MasterPromote => self.on_master_promote(sched),
         }
     }
 

@@ -114,6 +114,45 @@ impl ChaosOptions {
     }
 }
 
+/// Master failover: periodic checkpointing of the Namenode+JobTracker
+/// stack plus standby promotion after a crash. `None` (the default)
+/// reproduces the paper's single-master deployment — a `MasterCrash`
+/// fault is then recorded and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// How often the active master serializes a checkpoint (fsimage +
+    /// job ledger). Mutations since the last checkpoint form the *edit
+    /// window* and are lost on a crash. An interval of zero selects
+    /// *mirror mode*: the standby tracks every mutation synchronously,
+    /// so a crash loses nothing and causes no downtime.
+    pub checkpoint_interval: SimDuration,
+    /// How long after the crash the standby notices the active master
+    /// is gone and promotes itself. During this window heartbeats go
+    /// unanswered and client submissions buffer with retry/backoff.
+    pub detection_timeout: SimDuration,
+}
+
+impl FailoverConfig {
+    /// Checkpoint every `interval` with a 30 s detection timeout
+    /// (matching the paper's 30 s dead-node detection).
+    pub fn every(interval: SimDuration) -> Self {
+        FailoverConfig {
+            checkpoint_interval: interval,
+            detection_timeout: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Mirror mode: synchronous standby, zero-loss, zero-downtime.
+    pub fn mirror() -> Self {
+        FailoverConfig::every(SimDuration::ZERO)
+    }
+
+    /// Whether the standby mirrors every mutation synchronously.
+    pub fn is_mirror(&self) -> bool {
+        self.checkpoint_interval == SimDuration::ZERO
+    }
+}
+
 /// Everything needed to build a cluster.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -158,6 +197,10 @@ pub struct ClusterConfig {
     /// bounds instead of holding it at `resource.target_nodes`. `None`
     /// (the default) leaves every run byte-identical to a static pool.
     pub elastic: Option<ElasticConfig>,
+    /// Master failover (checkpointed Namenode/JobTracker recovery).
+    /// `None` (the default) keeps the single-master behaviour
+    /// byte-identical to pre-failover builds.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl ClusterConfig {
@@ -192,6 +235,7 @@ impl ClusterConfig {
             chaos: ChaosOptions::default(),
             obs: ObsOptions::default(),
             elastic: None,
+            failover: None,
         }
     }
 
@@ -228,6 +272,7 @@ impl ClusterConfig {
             chaos: ChaosOptions::default(),
             obs: ObsOptions::default(),
             elastic: None,
+            failover: None,
         }
     }
 
@@ -345,6 +390,18 @@ impl ClusterConfig {
     /// the controller tuning (benchmarks and ablations).
     pub fn with_elastic_config(mut self, cfg: ElasticConfig) -> Self {
         self.elastic = Some(cfg);
+        self
+    }
+
+    /// Arm master failover: checkpoint the Namenode+JobTracker stack
+    /// every `interval` and promote a standby `detection` after a
+    /// `MasterCrash`. `interval == ZERO` selects mirror mode (a
+    /// synchronous standby that loses nothing and promotes instantly).
+    pub fn with_failover(mut self, interval: SimDuration, detection: SimDuration) -> Self {
+        self.failover = Some(FailoverConfig {
+            checkpoint_interval: interval,
+            detection_timeout: detection,
+        });
         self
     }
 

@@ -96,6 +96,10 @@ pub struct RunResult {
     pub trace: Option<hog_obs::TraceLog>,
     /// The per-layer metrics registry, when `cfg.obs.metrics` was on.
     pub metrics: Option<hog_obs::MetricsRegistry>,
+    /// Master-failover accounting (crashes, promotions, recovery and
+    /// lost-edit-window durations, re-registration storms). All zeros
+    /// unless `cfg.failover` was set and a `MasterCrash` fired.
+    pub failover: crate::master::FailoverStats,
 }
 
 impl RunResult {
@@ -245,6 +249,7 @@ pub fn run_workload_with_events(
         chaos_failure: cluster.chaos_failure().cloned(),
         trace: cluster.take_trace(),
         metrics: cluster.take_metrics(),
+        failover: cluster.failover_stats().clone(),
         reported_series: cluster.reported_series,
         actual_series: cluster.actual_series,
     }

@@ -89,6 +89,11 @@ pub enum Event {
         /// Index into the fault plan.
         index: u32,
     },
+    /// The standby's detection timeout fired after a `MasterCrash`:
+    /// promote the checkpoint-restored Namenode+JobTracker stack and run
+    /// the recovery protocol (re-registration, block-report replay, task
+    /// reconciliation).
+    MasterPromote,
 }
 
 /// Why an attempt was doomed at start.

@@ -36,12 +36,16 @@ pub mod config;
 pub mod driver;
 pub mod event;
 pub mod experiments;
+pub mod master;
 pub mod report;
 pub mod sweep;
 
 pub use cluster::Cluster;
-pub use hog_chaos as chaos;
-pub use hog_obs as obs;
-pub use config::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, ZombieConfig};
+pub use config::{
+    ChaosOptions, ClusterConfig, FailoverConfig, PlacementKind, ResourceConfig, ZombieConfig,
+};
 pub use driver::{run_workload, JobOutcome, RunResult};
+pub use hog_chaos as chaos;
 pub use hog_mapreduce::SchedPolicy;
+pub use hog_obs as obs;
+pub use master::{FailoverStats, MasterCheckpoint, MasterStack, MasterStatus, SingleMasterStack};

@@ -59,7 +59,7 @@ const NOT_QUEUED: u16 = u16::MAX;
 /// every tick. Membership is updated at the handful of replica-count
 /// mutation sites, keeping dispatch iteration order identical to a stable
 /// sort by replica count over BlockId-ascending blocks.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct ReplQueue {
     /// `buckets[c]` = queued blocks with exactly `c` live replicas.
     buckets: Vec<BTreeSet<BlockId>>,
@@ -122,6 +122,11 @@ impl ReplQueue {
 }
 
 /// The HDFS master. See the module docs for the liveness protocol.
+///
+/// `Clone` snapshots the namenode wholesale (namespace, block map,
+/// datanode records, replication queues, placement policy, rng) — the
+/// master-failover checkpoint in `hog-core` is exactly such a snapshot.
+#[derive(Clone)]
 pub struct Namenode {
     cfg: HdfsConfig,
     policy: Box<dyn PlacementPolicy>,
@@ -776,6 +781,155 @@ impl Namenode {
                     .emit(|| TraceEvent::new(Layer::Hdfs, "dn_revived").with("node", node.0));
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Master failover & recovery
+    // ------------------------------------------------------------------
+
+    /// A datanode (re-)introduces itself to a freshly promoted namenode
+    /// and replays its block report: the node's replica set is rebuilt
+    /// from the reported truth, discarding whatever the checkpoint
+    /// believed this node held. Blocks the restored namespace does not
+    /// know (allocated inside the lost edit window, or abandoned) are
+    /// *orphans* — the datanode is told to discard them. Returns
+    /// `(accepted, orphaned)` replica counts.
+    ///
+    /// Queue state is not touched here; the promoting mediator calls
+    /// [`Namenode::rebuild_replication_state`] once after the last report.
+    pub fn replay_block_report(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        report: &[BlockId],
+    ) -> (usize, usize) {
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "dn_block_report")
+                .with("node", node.0)
+                .with("blocks", report.len())
+        });
+        let cap = self.cfg.datanode_capacity;
+        let dn = self
+            .datanodes
+            .entry(node)
+            .or_insert_with(|| DatanodeInfo::new(cap, now));
+        dn.liveness = DnLiveness::Live;
+        dn.last_heartbeat = now;
+        dn.storage_failed = false;
+        dn.repl_streams = 0;
+        let stale: Vec<BlockId> = dn.blocks.iter().copied().collect();
+        dn.blocks.clear();
+        dn.used = 0;
+        for b in stale {
+            self.blocks[b.0 as usize].replicas.remove(&node);
+        }
+        let mut accepted = 0;
+        let mut orphaned = 0;
+        for &b in report {
+            let known =
+                (b.0 as usize) < self.blocks.len() && self.blocks[b.0 as usize].expected > 0;
+            if known {
+                let size = self.blocks[b.0 as usize].size;
+                self.blocks[b.0 as usize].replicas.insert(node);
+                self.datanodes.get_mut(&node).unwrap().add_block(b, size);
+                accepted += 1;
+            } else {
+                self.bad_replica_reports.incr();
+                orphaned += 1;
+            }
+        }
+        (accepted, orphaned)
+    }
+
+    /// Rebuild the replication monitor's queues from the block map after
+    /// a failover: in-flight transfer bookkeeping inherited from the
+    /// checkpoint is meaningless (those transfers belonged to the dead
+    /// master), so pending targets and stream counts reset and the
+    /// under-replication queue is rescanned from replica deficits.
+    pub fn rebuild_replication_state(&mut self) {
+        self.pending_repl.clear();
+        for dn in self.datanodes.values_mut() {
+            dn.repl_streams = 0;
+        }
+        self.needs_repl = ReplQueue::default();
+        let deficient: Vec<(BlockId, usize)> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.expected > 0 && m.deficit() > 0)
+            .map(|(i, m)| (BlockId(i as u64), m.replicas.len()))
+            .collect();
+        for (b, count) in deficient {
+            self.needs_repl.insert(b, count);
+        }
+    }
+
+    /// Deterministic serialization of the full namenode state (the
+    /// checkpoint "fsimage"): namespace, block map, datanode records and
+    /// replication queues, in fixed id order. Two namenodes with equal
+    /// logical state produce byte-identical images, so the failover
+    /// round-trip tests compare these strings directly.
+    pub fn export_fsimage(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fsimage v1 files={} blocks={} datanodes={} repl={}",
+            self.files.len(),
+            self.blocks.len(),
+            self.datanodes.len(),
+            self.cfg.replication
+        );
+        for (i, f) in self.files.iter().enumerate() {
+            let blocks: Vec<u64> = f.blocks.iter().map(|b| b.0).collect();
+            let _ = writeln!(
+                s,
+                "file {i} path={} r={} complete={} blocks={blocks:?}",
+                f.path, f.replication, f.complete
+            );
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            let replicas: Vec<u32> = b.replicas.iter().map(|n| n.0).collect();
+            let _ = writeln!(
+                s,
+                "block {i} file={} size={} expected={} replicas={replicas:?}",
+                b.file.0, b.size, b.expected
+            );
+        }
+        for (n, dn) in &self.datanodes {
+            let blocks: Vec<u64> = dn.blocks.iter().map(|b| b.0).collect();
+            let _ = writeln!(
+                s,
+                "dn {} cap={} used={} hb={:?} live={:?} sf={} streams={} blocks={blocks:?}",
+                n.0,
+                dn.capacity,
+                dn.used,
+                dn.last_heartbeat,
+                dn.liveness,
+                dn.storage_failed,
+                dn.repl_streams
+            );
+        }
+        let queued: Vec<u64> = self.needs_repl.iter().map(|b| b.0).collect();
+        let _ = writeln!(s, "needs_repl={queued:?}");
+        let mut pending: Vec<(u64, Vec<u32>)> = self
+            .pending_repl
+            .iter()
+            .map(|(b, v)| (b.0, v.iter().map(|n| n.0).collect()))
+            .collect();
+        pending.sort();
+        let _ = writeln!(s, "pending_repl={pending:?}");
+        let _ = writeln!(
+            s,
+            "counters={:?}",
+            (
+                self.repl_completed.get(),
+                self.repl_failed.get(),
+                self.blocks_lost.get(),
+                self.bad_replica_reports.get()
+            )
+        );
+        s
     }
 
     /// Fault injection (hog-chaos): corrupt a datanode's `used` accounting

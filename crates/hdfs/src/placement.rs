@@ -53,6 +53,16 @@ pub trait PlacementPolicy: Send {
         candidates: &[Candidate],
         rng: &mut SimRng,
     ) -> Vec<NodeId>;
+
+    /// Clone this policy into a fresh box. Master checkpointing clones
+    /// the whole Namenode, boxed policy included, through this hook.
+    fn box_clone(&self) -> Box<dyn PlacementPolicy>;
+}
+
+impl Clone for Box<dyn PlacementPolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Count replicas per site over `existing` plus already-chosen targets.
@@ -132,6 +142,10 @@ impl PlacementPolicy for SiteAwarePolicy {
         }
         chosen
     }
+
+    fn box_clone(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Stock Hadoop 0.20 rack-aware placement (racks == our sites).
@@ -157,8 +171,8 @@ impl PlacementPolicy for RackAwarePolicy {
             cands.iter().find(|c| c.node == node).map(|c| c.site)
         };
         let take = |pred: &dyn Fn(&Candidate) -> bool,
-                        remaining: &mut Vec<&Candidate>,
-                        rng: &mut SimRng|
+                    remaining: &mut Vec<&Candidate>,
+                    rng: &mut SimRng|
          -> Option<NodeId> {
             let idxs: Vec<usize> = remaining
                 .iter()
@@ -218,6 +232,10 @@ impl PlacementPolicy for RackAwarePolicy {
             }
         }
         chosen
+    }
+
+    fn box_clone(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -283,6 +301,10 @@ impl PlacementPolicy for AnchorFirstPolicy {
         chosen.truncate(n);
         chosen
     }
+
+    fn box_clone(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Uniform random placement, ignoring topology entirely (ablation).
@@ -306,6 +328,10 @@ impl PlacementPolicy for RackObliviousPolicy {
         rng.shuffle(&mut pool);
         pool.truncate(n);
         pool
+    }
+
+    fn box_clone(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
     }
 }
 

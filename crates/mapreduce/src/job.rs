@@ -123,6 +123,7 @@ pub enum JobStatus {
 }
 
 /// Full state of one job inside the JobTracker.
+#[derive(Clone)]
 pub struct JobState {
     /// The submission that created it.
     pub spec: JobSubmission,

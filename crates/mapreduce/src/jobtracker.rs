@@ -130,6 +130,7 @@ pub struct MapDoneOutput {
 /// Per-job locality index: static split locations, as Hadoop caches them
 /// at submission. The rack tier is consulted only by rack-aware policies
 /// ([`Scheduler::rack_aware`]).
+#[derive(Clone, Default)]
 struct LocalityIndex {
     by_node: HashMap<NodeId, Vec<u32>>,
     by_rack: HashMap<RackId, Vec<u32>>,
@@ -175,6 +176,11 @@ pub struct Backlog {
 }
 
 /// The MapReduce master. See the crate docs for the modelled behaviours.
+///
+/// `Clone` snapshots the JobTracker wholesale — job/task ledger, tracker
+/// records, scheduling policy (failure history included) and rng. The
+/// master-failover checkpoint in `hog-core` is exactly such a snapshot.
+#[derive(Clone)]
 pub struct JobTracker {
     cfg: MrParams,
     jobs: Vec<JobState>,
@@ -1454,6 +1460,273 @@ impl JobTracker {
             return vec![JtNote::JobCompleted { job: jid }];
         }
         Vec::new()
+    }
+
+    // ------------------------------------------------------------------
+    // Master failover & recovery
+    // ------------------------------------------------------------------
+
+    /// Wholesale kill of every running attempt after a checkpoint
+    /// restore (Hadoop-0.20 JobTracker-restart semantics): a freshly
+    /// promoted master cannot trust any in-flight attempt it inherited
+    /// from the image — the workers re-register with empty slates — so
+    /// running attempts die without blame and their undone tasks requeue
+    /// for immediate reassignment. Shuffle plans are dropped too; a
+    /// reduce re-attempt rebuilds its plan through the ordinary
+    /// `init_reduce_plan` path, which also requeues completed maps whose
+    /// output hosts meanwhile died. Returns the attempt count killed.
+    pub fn recover_kill_all(&mut self) -> usize {
+        let mut killed = 0usize;
+        for jid in self.fifo.clone() {
+            let job = &mut self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let mut requeue: Vec<(TaskKind, u32)> = Vec::new();
+            for (kind, tasks) in [
+                (TaskKind::Map, &mut job.maps),
+                (TaskKind::Reduce, &mut job.reduces),
+            ] {
+                for (i, ts) in tasks.iter_mut().enumerate() {
+                    let mut had_running = false;
+                    for a in ts.attempts.iter_mut() {
+                        if a.phase == AttemptPhase::Running {
+                            a.phase = AttemptPhase::Killed;
+                            had_running = true;
+                            killed += 1;
+                        }
+                    }
+                    if had_running && !ts.done {
+                        requeue.push((kind, i as u32));
+                    }
+                }
+            }
+            for (kind, i) in requeue {
+                match kind {
+                    TaskKind::Map => job.pending_maps.insert(i),
+                    TaskKind::Reduce => job.pending_reduces.insert(i),
+                };
+            }
+            job.reduce_plans.clear();
+            job.running_by_start.clear();
+            job.running_maps = 0;
+            job.running_reduces = 0;
+            // Retry bookkeeping died with the old master: the new one
+            // hands everything back out as soon as slots heartbeat.
+            job.retry_after.clear();
+        }
+        self.sorting.clear();
+        for t in self.trackers.values_mut() {
+            t.running.clear();
+        }
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "recover_kill_all").with("attempts", killed)
+        });
+        killed
+    }
+
+    /// Align the restored image with the crashed master's final ("ghost")
+    /// state so queued simulation events cannot alias fresh work:
+    ///
+    /// * every task's attempt list is padded with `Killed` placeholder
+    ///   attempts up to the ghost's per-task attempt count, so attempt
+    ///   ordinals handed out after promotion have never been used before
+    ///   (stale in-flight events for pre-crash attempts then land on
+    ///   non-`Running` ordinals and are dropped);
+    /// * the job table is padded to the ghost's length with terminal
+    ///   *tombstone* jobs, so job ids minted during the lost edit window
+    ///   stay out-of-queue placeholders and resubmitted jobs get fresh
+    ///   ids beyond anything stale events can reference.
+    pub fn recover_align_with_ghost(&mut self, ghost: &JobTracker, now: SimTime) {
+        fn pad(ts: &mut crate::job::TaskState, ghost_ts: &crate::job::TaskState, now: SimTime) {
+            while ts.attempts.len() < ghost_ts.attempts.len() {
+                let g = &ghost_ts.attempts[ts.attempts.len()];
+                ts.attempts.push(AttemptState {
+                    node: g.node,
+                    started: now,
+                    phase: AttemptPhase::Killed,
+                });
+            }
+        }
+        let shared = self.jobs.len().min(ghost.jobs.len());
+        for j in 0..shared {
+            let gj = &ghost.jobs[j];
+            let job = &mut self.jobs[j];
+            for (ts, gts) in job.maps.iter_mut().zip(gj.maps.iter()) {
+                pad(ts, gts, now);
+            }
+            for (ts, gts) in job.reduces.iter_mut().zip(gj.reduces.iter()) {
+                pad(ts, gts, now);
+            }
+        }
+        while self.jobs.len() < ghost.jobs.len() {
+            let spec = JobSubmission {
+                input_blocks: Vec::new(),
+                split_locations: Vec::new(),
+                reduces: 0,
+                map_cpu_secs: 0.0,
+                map_output_bytes: 0,
+                reduce_cpu_secs: 0.0,
+                reduce_output_bytes: 0,
+                output_replication: 1,
+            };
+            let mut tomb = JobState::new(spec, now);
+            tomb.status = JobStatus::Failed;
+            self.jobs.push(tomb);
+            self.locality.push(LocalityIndex::default());
+        }
+    }
+
+    /// Force a job terminal after a failover: the client already saw it
+    /// finish (the old master reported before crashing), so the new
+    /// master must not run it again even though the restored image still
+    /// has it `Running`. Counters and queue membership update exactly as
+    /// if the job finished normally.
+    pub fn recover_force_terminal(
+        &mut self,
+        now: SimTime,
+        jid: JobId,
+        finished: SimTime,
+        ok: bool,
+    ) {
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.status != JobStatus::Running {
+            return;
+        }
+        job.status = if ok {
+            JobStatus::Succeeded
+        } else {
+            JobStatus::Failed
+        };
+        job.finished = ok.then_some(finished);
+        if ok {
+            self.counters.jobs_completed += 1;
+        } else {
+            self.counters.jobs_failed += 1;
+        }
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::MapReduce, "recover_force_terminal")
+                .with("job", jid.0)
+                .with("ok", ok)
+        });
+        self.retire_job(now, jid);
+    }
+
+    /// Recompute per-tracker scratch accounting from the surviving jobs'
+    /// ledgers after re-registration wiped every tracker record clean.
+    /// Scratch charged to trackers the restored master no longer knows
+    /// (or knows dead) is dropped from the job ledgers too — the space
+    /// died with the node.
+    pub fn recover_rebuild_scratch(&mut self) {
+        for t in self.trackers.values_mut() {
+            t.scratch_used = 0;
+        }
+        let fifo = self.fifo.clone();
+        for &jid in &fifo {
+            let trackers = &self.trackers;
+            let job = &mut self.jobs[jid.0 as usize];
+            job.scratch_by_node.retain(|n, _| {
+                trackers
+                    .get(n)
+                    .is_some_and(|t| t.liveness != TrackerLiveness::Dead)
+            });
+        }
+        let mut usage: Vec<(NodeId, u64)> = Vec::new();
+        for &jid in &fifo {
+            for (&n, &b) in &self.jobs[jid.0 as usize].scratch_by_node {
+                usage.push((n, b));
+            }
+        }
+        for (n, b) in usage {
+            if let Some(t) = self.trackers.get_mut(&n) {
+                t.scratch_used += b;
+            }
+        }
+    }
+
+    /// Deterministic serialization of the job/task ledger (the checkpoint
+    /// counterpart of the namenode's fsimage): jobs in id order with
+    /// full task/attempt detail, tracker records, queue and counters.
+    /// Equal logical state produces byte-identical output.
+    pub fn export_ledger(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "ledger v1 jobs={} trackers={} policy={}",
+            self.jobs.len(),
+            self.trackers.len(),
+            self.sched.name()
+        );
+        for (j, job) in self.jobs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "job {j} status={:?} submitted={:?} finished={:?} maps_done={} reduces_done={} \
+                 running={}/{} pending_maps={:?} pending_reduces={:?}",
+                job.status,
+                job.submitted,
+                job.finished,
+                job.maps_done,
+                job.reduces_done,
+                job.running_maps,
+                job.running_reduces,
+                job.pending_maps,
+                job.pending_reduces
+            );
+            for (label, tasks) in [("map", &job.maps), ("reduce", &job.reduces)] {
+                for (i, ts) in tasks.iter().enumerate() {
+                    let attempts: Vec<String> = ts
+                        .attempts
+                        .iter()
+                        .map(|a| format!("{}@{:?}:{:?}", a.node.0, a.started, a.phase))
+                        .collect();
+                    let _ = writeln!(
+                        s,
+                        "  {label} {i} done={} on={:?} failures={} attempts={attempts:?}",
+                        ts.done,
+                        ts.completed_on.map(|n| n.0),
+                        ts.failures
+                    );
+                }
+            }
+            let mut plans: Vec<(AttemptRef, bool)> = job
+                .reduce_plans
+                .iter()
+                .map(|(&a, p)| (a, p.complete()))
+                .collect();
+            plans.sort();
+            let mut scratch: Vec<(u32, u64)> =
+                job.scratch_by_node.iter().map(|(n, &b)| (n.0, b)).collect();
+            scratch.sort();
+            let mut retry: Vec<((TaskKind, u32), SimTime)> =
+                job.retry_after.iter().map(|(&k, &t)| (k, t)).collect();
+            retry.sort();
+            let _ = writeln!(
+                s,
+                "  plans={plans:?} scratch={scratch:?} retry={retry:?} rbs={:?}",
+                job.running_by_start
+            );
+        }
+        for (n, t) in &self.trackers {
+            let _ = writeln!(
+                s,
+                "tracker {} slots={}/{} live={:?} hb={:?} scratch={}/{} running={:?}",
+                n.0,
+                t.map_slots,
+                t.reduce_slots,
+                t.liveness,
+                t.last_heartbeat,
+                t.scratch_used,
+                t.scratch_capacity,
+                t.running
+            );
+        }
+        let mut sorting: Vec<AttemptRef> = self.sorting.iter().copied().collect();
+        sorting.sort();
+        let _ = writeln!(s, "fifo={:?}", self.fifo);
+        let _ = writeln!(s, "sorting={sorting:?}");
+        let _ = writeln!(s, "counters={:?}", self.counters);
+        s
     }
 
     /// Scratch usage of a tracker (disk-overflow reporting).

@@ -151,6 +151,10 @@ impl Scheduler for FailureAwareSched {
     fn site_penalty(&self, site: SiteId, now: SimTime) -> f64 {
         self.decayed(self.site_scores.get(&site), now)
     }
+
+    fn box_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,10 @@ impl Scheduler for FairSched {
     fn on_job_removed(&mut self, job: u32, _now: SimTime) {
         self.waiting_since.remove(&job);
     }
+
+    fn box_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

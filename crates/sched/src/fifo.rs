@@ -34,6 +34,10 @@ impl Scheduler for FifoSched {
     ) {
         out.extend(jobs.iter().map(|j| j.id));
     }
+
+    fn box_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

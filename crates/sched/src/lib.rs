@@ -197,6 +197,17 @@ pub trait Scheduler {
         let _ = (site, now);
         0.0
     }
+
+    /// Clone this policy, state included, into a fresh box. Master
+    /// checkpointing snapshots the live policy through this hook so
+    /// accumulated failure history survives a JobTracker failover.
+    fn box_clone(&self) -> Box<dyn Scheduler>;
+}
+
+impl Clone for Box<dyn Scheduler> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Which policy a cluster runs. `Copy` so it can ride inside the plain-

@@ -50,7 +50,9 @@ pub use hog_workload as workload;
 pub mod prelude {
     pub use hog_chaos::{ChaosFailure, Fault, FaultPlan};
     pub use hog_core::driver::{run_workload, JobOutcome, RunResult};
-    pub use hog_core::{ChaosOptions, ClusterConfig, PlacementKind, ResourceConfig, SchedPolicy};
+    pub use hog_core::{
+        ChaosOptions, ClusterConfig, FailoverConfig, PlacementKind, ResourceConfig, SchedPolicy,
+    };
     pub use hog_obs::{ObsOptions, TraceLog, TraceMode};
     pub use hog_sim_core::{SimDuration, SimTime};
     pub use hog_workload::SubmissionSchedule;
