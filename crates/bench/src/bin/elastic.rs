@@ -16,6 +16,7 @@
 //!
 //! Usage:
 //!   elastic [--smoke] [--seed S] [--out PATH] [--check BASELINE]
+//!           [--threads N] [--verify-threads]
 //!
 //! * `--smoke`    run only the static-100 and elastic tiers (CI gate)
 //! * `--seed S`   cluster seed (default 7; schedule seed is 1000+S)
@@ -23,6 +24,12 @@
 //! * `--check BASELINE` compare wall-clock and outcome fingerprints per
 //!   shared label against a previous report; exit non-zero on a >25%
 //!   (+noise floor) wall regression or any fingerprint change
+//!
+//! * `--threads N`      run sweep cells N-wide (default: available cores;
+//!   every cell is an independent deterministic simulation, so the report
+//!   is the same at any width — only wall clocks move)
+//! * `--verify-threads` rerun the sweep at `--threads 1` and assert the
+//!   two reports are byte-identical modulo wall-clock fields
 //!
 //! The JSON is hand-rolled (no serde in the workspace); schema mirrors
 //! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md X12.
@@ -364,33 +371,49 @@ fn main() {
         schedule.total_reduces()
     );
 
-    let mut tiers = Vec::new();
-    for &n in &STATIC_TIERS {
-        if smoke && n != 100 {
-            continue;
+    let threads = hog_bench::arg_threads(&args);
+    let verify_threads = args.iter().any(|a| a == "--verify-threads");
+    let sweep = |threads: usize| {
+        let schedule = &schedule;
+        let mut jobs: Vec<Box<dyn FnOnce() -> TierReport + Send>> = Vec::new();
+        for &n in &STATIC_TIERS {
+            if smoke && n != 100 {
+                continue;
+            }
+            jobs.push(Box::new(move || run_static(n, seed, schedule)));
         }
-        let t = run_static(n, seed, &schedule);
-        print_tier(&t);
-        tiers.push(t);
-    }
-    let t = run_elastic(seed, &schedule);
-    print_tier(&t);
-    tiers.push(t);
-    let ok = verdict(&tiers);
+        jobs.push(Box::new(move || run_elastic(seed, schedule)));
+        let tiers = hog_bench::run_cells(jobs, threads);
+        let mut ablation_jobs: Vec<Box<dyn FnOnce() -> TierReport + Send>> = Vec::new();
+        if !smoke {
+            for elastic in [false, true] {
+                ablation_jobs.push(Box::new(move || run_burst(elastic, seed, schedule)));
+            }
+        }
+        let ablation = hog_bench::run_cells(ablation_jobs, threads);
+        (tiers, ablation)
+    };
 
-    let mut ablation = Vec::new();
-    if !smoke {
+    let (tiers, ablation) = sweep(threads);
+    for t in &tiers {
+        print_tier(t);
+    }
+    let ok = verdict(&tiers);
+    if !ablation.is_empty() {
         println!("  -- X11 preemption bursts on {BURST_SITES:?} --");
-        for elastic in [false, true] {
-            let t = run_burst(elastic, seed, &schedule);
-            print_tier(&t);
-            ablation.push(t);
+        for t in &ablation {
+            print_tier(t);
         }
     }
 
     let json = to_json(seed, &tiers, &ablation);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if verify_threads {
+        let (t1, a1) = sweep(1);
+        hog_bench::assert_threads_identical("elastic", &json, &to_json(seed, &t1, &a1));
+    }
 
     if let Some(base) = check_path {
         let all: Vec<TierReport> = tiers.into_iter().chain(ablation).collect();

@@ -13,6 +13,7 @@
 //!
 //! Usage:
 //!   failover [--smoke] [--seed S] [--out PATH] [--check BASELINE]
+//!            [--threads N] [--verify-threads]
 //!
 //! * `--smoke`          run only the 100-node pool, one crash cell (CI gate)
 //! * `--seed S`         cluster seed (default 7; schedule seed is 1000+S)
@@ -20,6 +21,12 @@
 //! * `--check BASELINE` compare wall-clock and outcome fingerprints per
 //!   label against a previous report; exit non-zero on a >25% (+noise
 //!   floor) wall regression or any fingerprint change
+//!
+//! * `--threads N`      run sweep cells N-wide (default: available cores;
+//!   every cell is an independent deterministic simulation, so the report
+//!   is the same at any width — only wall clocks move)
+//! * `--verify-threads` rerun the sweep at `--threads 1` and assert the
+//!   two reports are byte-identical modulo wall-clock fields
 //!
 //! The JSON is hand-rolled (no serde in the workspace); keep the schema
 //! in sync with `.github/workflows/ci.yml` and EXPERIMENTS.md X13.
@@ -50,6 +57,7 @@ const REGRESSION_FRAC: f64 = 0.25;
 /// Absolute slack below which a regression is considered timer noise.
 const NOISE_FLOOR_MS: u64 = 250;
 
+#[derive(Clone)]
 struct CellReport {
     label: String,
     nodes: usize,
@@ -252,32 +260,73 @@ fn main() {
         schedule.total_reduces()
     );
 
-    let mut cells = Vec::new();
-    let mut all_passed = true;
-    for &nodes in &POOLS {
-        if smoke && nodes != POOLS[0] {
-            continue;
-        }
-        let free = run_cell(nodes, seed, &schedule, INTERVALS[0], None, None);
-        print_cell(&free);
-        let base = free.response_secs;
-        cells.push(free);
-        for &crash in &CRASH_TIMES {
-            for &interval in &INTERVALS {
-                if smoke && !(crash == CRASH_TIMES[0] && interval == INTERVALS[0]) {
-                    continue;
+    let threads = hog_bench::arg_threads(&args);
+    let verify_threads = args.iter().any(|a| a == "--verify-threads");
+    let pools: Vec<usize> = POOLS
+        .iter()
+        .copied()
+        .filter(|&n| !smoke || n == POOLS[0])
+        .collect();
+    // Crash cells judge themselves against the crash-free response of
+    // the same pool size, so the sweep runs in two waves: the per-pool
+    // baselines first, then every crash cell.
+    let sweep = |threads: usize| {
+        let schedule = &schedule;
+        let free_jobs: Vec<Box<dyn FnOnce() -> CellReport + Send>> = pools
+            .iter()
+            .map(|&nodes| {
+                Box::new(move || run_cell(nodes, seed, schedule, INTERVALS[0], None, None))
+                    as Box<dyn FnOnce() -> CellReport + Send>
+            })
+            .collect();
+        let frees = hog_bench::run_cells(free_jobs, threads);
+        let mut crash_jobs: Vec<Box<dyn FnOnce() -> CellReport + Send>> = Vec::new();
+        for (pi, &nodes) in pools.iter().enumerate() {
+            let base = frees[pi].response_secs;
+            for &crash in &CRASH_TIMES {
+                for &interval in &INTERVALS {
+                    if smoke && !(crash == CRASH_TIMES[0] && interval == INTERVALS[0]) {
+                        continue;
+                    }
+                    crash_jobs.push(Box::new(move || {
+                        run_cell(nodes, seed, schedule, interval, Some(crash), Some(base))
+                    }));
                 }
-                let c = run_cell(nodes, seed, &schedule, interval, Some(crash), Some(base));
-                print_cell(&c);
-                all_passed &= c.passed;
-                cells.push(c);
             }
         }
+        let mut crashes = hog_bench::run_cells(crash_jobs, threads).into_iter();
+        // Re-interleave into the report's historical order: each pool's
+        // crash-free cell followed by its crash grid.
+        let mut cells = Vec::new();
+        for (pi, _) in pools.iter().enumerate() {
+            let n_crashes = CRASH_TIMES
+                .iter()
+                .flat_map(|&c| INTERVALS.iter().map(move |&i| (c, i)))
+                .filter(|&(c, i)| !smoke || (c == CRASH_TIMES[0] && i == INTERVALS[0]))
+                .count();
+            cells.push(frees[pi].clone());
+            for _ in 0..n_crashes {
+                cells.push(crashes.next().expect("crash cell"));
+            }
+        }
+        cells
+    };
+
+    let cells = sweep(threads);
+    let mut all_passed = true;
+    for c in &cells {
+        print_cell(c);
+        all_passed &= c.passed;
     }
 
     let json = to_json(seed, &cells);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if verify_threads {
+        let c1 = sweep(1);
+        hog_bench::assert_threads_identical("failover", &json, &to_json(seed, &c1));
+    }
 
     if let Some(base) = check_path {
         let text = std::fs::read_to_string(&base)

@@ -7,6 +7,7 @@
 //!
 //! Usage:
 //!   scale [--smoke] [--seed S] [--out PATH] [--check BASELINE]
+//!         [--threads N] [--verify-threads]
 //!
 //! * `--smoke`          run only the 100-node tier (CI per-PR gate)
 //! * `--seed S`         cluster seed (default 7; schedule seed is 1000+S)
@@ -16,6 +17,12 @@
 //!   25% (and by more than an absolute noise floor) **or** its outcome
 //!   fingerprint changed (the simulation no longer produces bit-identical
 //!   results)
+//!
+//! * `--threads N`      run sweep cells N-wide (default: available cores;
+//!   every cell is an independent deterministic simulation, so the report
+//!   is the same at any width — only wall clocks move)
+//! * `--verify-threads` rerun the sweep at `--threads 1` and assert the
+//!   two reports are byte-identical modulo wall-clock fields
 //!
 //! The JSON is hand-rolled (no serde in the workspace); keep the schema in
 //! sync with `.github/workflows/ci.yml` and DESIGN.md §10.
@@ -163,29 +170,44 @@ fn main() {
         schedule.total_reduces()
     );
 
-    let tiers: Vec<TierReport> = TIERS
-        .iter()
-        .filter(|&&n| !smoke || n == TIERS[0])
-        .map(|&n| {
-            let t = run_tier(n, seed, &schedule);
-            println!(
-                "  {:>5} nodes: wall={:>6}ms events={:>9} ({:>8}/s) recomputes={:>7} work={:>11} peakq={:>6} fp={}",
-                t.nodes,
-                t.wall_ms,
-                t.sim_events,
-                t.events_per_sec,
-                t.recomputes,
-                t.recompute_work,
-                t.peak_queue,
-                t.fingerprint
-            );
-            t
-        })
-        .collect();
+    let threads = hog_bench::arg_threads(&args);
+    let verify_threads = args.iter().any(|a| a == "--verify-threads");
+    let sweep = |threads: usize| {
+        let schedule = &schedule;
+        let jobs: Vec<Box<dyn FnOnce() -> TierReport + Send>> = TIERS
+            .iter()
+            .filter(|&&n| !smoke || n == TIERS[0])
+            .map(|&n| {
+                Box::new(move || run_tier(n, seed, schedule))
+                    as Box<dyn FnOnce() -> TierReport + Send>
+            })
+            .collect();
+        hog_bench::run_cells(jobs, threads)
+    };
+
+    let tiers = sweep(threads);
+    for t in &tiers {
+        println!(
+            "  {:>5} nodes: wall={:>6}ms events={:>9} ({:>8}/s) recomputes={:>7} work={:>11} peakq={:>6} fp={}",
+            t.nodes,
+            t.wall_ms,
+            t.sim_events,
+            t.events_per_sec,
+            t.recomputes,
+            t.recompute_work,
+            t.peak_queue,
+            t.fingerprint
+        );
+    }
 
     let json = to_json(seed, &tiers);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if verify_threads {
+        let t1 = sweep(1);
+        hog_bench::assert_threads_identical("scale", &json, &to_json(seed, &t1));
+    }
 
     if let Some(base) = check_path {
         let text = std::fs::read_to_string(&base)

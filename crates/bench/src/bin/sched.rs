@@ -13,6 +13,7 @@
 //!
 //! Usage:
 //!   sched [--smoke] [--ablation] [--seed S] [--out PATH] [--check BASELINE]
+//!         [--threads N] [--verify-threads]
 //!
 //! * `--smoke`          run only the 100-node stable tier (CI-friendly)
 //! * `--ablation`       run only the X11 burst ablation
@@ -22,6 +23,12 @@
 //!   against a previously written report (BENCH_sched.baseline.json in
 //!   CI) and exit non-zero on any mismatch — the sweep is deterministic,
 //!   so a changed fingerprint means the simulated outcome changed
+//!
+//! * `--threads N`      run sweep cells N-wide (default: available cores;
+//!   every cell is an independent deterministic simulation, so the report
+//!   is the same at any width — only wall clocks move)
+//! * `--verify-threads` rerun the sweep at `--threads 1` and assert the
+//!   two reports are byte-identical modulo wall-clock fields
 //!
 //! The JSON is hand-rolled (no serde in the workspace); the schema mirrors
 //! BENCH_scale.json. Keep it in sync with EXPERIMENTS.md.
@@ -337,31 +344,51 @@ fn main() {
         schedule.total_reduces()
     );
 
-    let mut cells = Vec::new();
-    for &(nodes, churn, lifetime) in &CELLS {
-        if ablation_only || (smoke && (nodes, churn) != (CELLS[0].0, CELLS[0].1)) {
-            continue;
+    let threads = hog_bench::arg_threads(&args);
+    let verify_threads = args.iter().any(|a| a == "--verify-threads");
+    let sweep = |threads: usize| {
+        let schedule = &schedule;
+        let mut jobs: Vec<Box<dyn FnOnce() -> CellReport + Send>> = Vec::new();
+        for &(nodes, churn, lifetime) in &CELLS {
+            if ablation_only || (smoke && (nodes, churn) != (CELLS[0].0, CELLS[0].1)) {
+                continue;
+            }
+            for &policy in &POLICIES {
+                jobs.push(Box::new(move || {
+                    run_cell(policy, nodes, churn, lifetime, seed, schedule)
+                }));
+            }
         }
-        for &policy in &POLICIES {
-            let c = run_cell(policy, nodes, churn, lifetime, seed, &schedule);
-            print_cell(&c);
-            cells.push(c);
+        let cells = hog_bench::run_cells(jobs, threads);
+        let mut ablation_jobs: Vec<Box<dyn FnOnce() -> CellReport + Send>> = Vec::new();
+        if !smoke {
+            for policy in [SchedPolicy::Fifo, SchedPolicy::FailureAware] {
+                ablation_jobs.push(Box::new(move || run_burst(policy, seed, schedule)));
+            }
         }
-    }
+        let ablation = hog_bench::run_cells(ablation_jobs, threads);
+        (cells, ablation)
+    };
 
-    let mut ablation = Vec::new();
-    if !smoke {
+    let (cells, ablation) = sweep(threads);
+    for c in &cells {
+        print_cell(c);
+    }
+    if !ablation.is_empty() {
         println!("  -- X11 preemption bursts on {BURST_SITES:?}, audit on --");
-        for policy in [SchedPolicy::Fifo, SchedPolicy::FailureAware] {
-            let c = run_burst(policy, seed, &schedule);
-            print_cell(&c);
-            ablation.push(c);
+        for c in &ablation {
+            print_cell(c);
         }
     }
 
     let json = to_json(seed, &cells, &ablation);
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
+
+    if verify_threads {
+        let (c1, a1) = sweep(1);
+        hog_bench::assert_threads_identical("sched", &json, &to_json(seed, &c1, &a1));
+    }
 
     if let Some(base) = check_path {
         let text = std::fs::read_to_string(&base)

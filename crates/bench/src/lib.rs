@@ -83,6 +83,96 @@ pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Default worker count for bench sweeps: the available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The `--threads N` argument, defaulting to [`default_threads`].
+pub fn arg_threads(args: &[String]) -> usize {
+    arg_usize(args, "--threads", default_threads()).max(1)
+}
+
+/// Run independent bench cells `threads`-wide, preserving input order
+/// (results land by submission index regardless of completion order).
+/// Every cell is a deterministic simulation, so the report is identical
+/// at any thread count — `--verify-threads` in the sweep bins asserts
+/// exactly that against a 1-thread rerun.
+pub fn run_cells<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = threads.max(1);
+    let n = jobs.len();
+    if threads == 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let results: parking_lot::Mutex<Vec<Option<T>>> =
+        parking_lot::Mutex::new((0..n).map(|_| None).collect());
+    let work: parking_lot::Mutex<std::vec::IntoIter<(usize, F)>> = parking_lot::Mutex::new(
+        jobs.into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let item = { work.lock().next() };
+                let Some((idx, job)) = item else { break };
+                let r = job();
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("bench cell worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing bench cell result"))
+        .collect()
+}
+
+/// Strip host-dependent measurements from a report: `"wall_ms": 123` →
+/// `"wall_ms": 0` (likewise the derived `events_per_sec`). Everything
+/// else in the bench JSON is simulation outcome, which is deterministic —
+/// so two reports of the same sweep must be byte-identical after this,
+/// whatever `--threads`.
+pub fn zero_wall(json: &str) -> String {
+    let mut out = json.to_string();
+    for key in ["\"wall_ms\": ", "\"events_per_sec\": "] {
+        let mut next = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(i) = rest.find(key) {
+            let start = i + key.len();
+            next.push_str(&rest[..start]);
+            next.push('0');
+            let tail = &rest[start..];
+            let digits = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            rest = &tail[digits..];
+        }
+        next.push_str(rest);
+        out = next;
+    }
+    out
+}
+
+/// `--verify-threads` support: assert the report produced at `--threads
+/// N` is byte-identical (modulo wall clocks, via [`zero_wall`]) to the
+/// 1-thread rerun's.
+pub fn assert_threads_identical(bench: &str, parallel_json: &str, serial_json: &str) {
+    assert!(
+        zero_wall(parallel_json) == zero_wall(serial_json),
+        "{bench}: parallel report differs from --threads 1 rerun"
+    );
+    println!("{bench}: --verify-threads ok (report identical to --threads 1)");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,6 +77,14 @@ pub enum Fault {
         /// Bytes of phantom usage to add.
         delta_bytes: u64,
     },
+    /// The inter-pool WAN backbone is severed for `duration`: cross-pool
+    /// block staging freezes (transfers pause, not abort) and the
+    /// federation meta-scheduler must route around the cut. A no-op on a
+    /// single standalone cluster, which has no inter-pool tier.
+    PoolPartition {
+        /// How long the backbone stays cut.
+        duration: SimDuration,
+    },
 }
 
 impl Fault {
@@ -84,9 +92,9 @@ impl Fault {
     /// mediator heals it (`ChaosEnd`). `None` for instantaneous faults.
     pub fn window(&self) -> Option<SimDuration> {
         match self {
-            Fault::SitePartition { duration, .. } | Fault::WanDegrade { duration, .. } => {
-                Some(*duration)
-            }
+            Fault::SitePartition { duration, .. }
+            | Fault::WanDegrade { duration, .. }
+            | Fault::PoolPartition { duration } => Some(*duration),
             _ => None,
         }
     }

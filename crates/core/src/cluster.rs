@@ -300,6 +300,19 @@ pub struct Cluster {
     tracer: Tracer,
     /// Metrics registry + handles, when `cfg.obs.metrics` is set.
     obs_metrics: Option<ObsMetrics>,
+    /// Pool mode (`cfg.pool` set): home data uploaded, awaiting the
+    /// federation's workload go-signal.
+    pool_ready: bool,
+    /// Pool mode: schedule indices whose submission timeline fired here
+    /// and now await meta-scheduler routing. Drained by the federation
+    /// after every handled event.
+    pending_routes: Vec<usize>,
+    /// Pool mode: runtime dataset stagings that finished (all blocks
+    /// committed or permanently failed). Drained by the federation.
+    completed_stagings: Vec<usize>,
+    /// Pool mode: in-flight runtime stagings, file → (schedule index,
+    /// blocks still outstanding).
+    staging: HashMap<FileId, (usize, usize)>,
 }
 
 impl Cluster {
@@ -397,14 +410,27 @@ impl Cluster {
             chaos_failure: None,
             tracer,
             obs_metrics,
+            pool_ready: false,
+            pending_routes: Vec::new(),
+            completed_stagings: Vec::new(),
+            staging: HashMap::new(),
         }
     }
 
     /// Seed the initial events: grid submission (or fixed-node
     /// registration) and the master tick.
     pub fn bootstrap(&mut self, sim: &mut hog_sim_core::Simulation<Self>) {
-        sim.schedule(SimTime::ZERO, Event::MasterTick);
-        self.finish_bootstrap(sim);
+        self.bootstrap_sched(&mut sim.scheduler());
+    }
+
+    /// [`Cluster::bootstrap`] over a bare [`Scheduler`] handle, for
+    /// executors that drive the model without a [`hog_sim_core::Simulation`]
+    /// (the hog-fed federation co-simulates several clusters, each with
+    /// its own queue). Must be called with the clock at zero.
+    pub fn bootstrap_sched(&mut self, sched: &mut Scheduler<'_, Event>) {
+        debug_assert_eq!(sched.now(), SimTime::ZERO);
+        sched.at(SimTime::ZERO, Event::MasterTick);
+        self.finish_bootstrap(sched);
         // Anchor placement needs the anchor site's id, known only now.
         if let PlacementKind::AnchorFirst { site_name } = self.cfg.placement.clone() {
             let anchor = self
@@ -420,7 +446,7 @@ impl Cluster {
         }
     }
 
-    fn finish_bootstrap(&mut self, sim: &mut hog_sim_core::Simulation<Self>) {
+    fn finish_bootstrap(&mut self, sched: &mut Scheduler<'_, Event>) {
         match self.cfg.resource.clone() {
             ResourceConfig::Grid {
                 params,
@@ -432,11 +458,11 @@ impl Cluster {
                     GridModel::new(params, sites, &mut self.topo, self.rng.fork(1));
                 grid.set_tracer(self.tracer.clone());
                 for (d, e) in init {
-                    sim.schedule(SimTime::ZERO + d, Event::Grid(e));
+                    sched.at(SimTime::ZERO + d, Event::Grid(e));
                 }
                 let out = grid.submit_workers(SimTime::ZERO, target_nodes);
                 for (d, e) in out.defer {
-                    sim.schedule(SimTime::ZERO + d, Event::Grid(e));
+                    sched.at(SimTime::ZERO + d, Event::Grid(e));
                 }
                 debug_assert!(out.notes.is_empty());
                 self.grid = Some(grid);
@@ -452,30 +478,12 @@ impl Cluster {
                     .map(|&slots| (self.topo.add_node(site), slots))
                     .collect();
                 for (node, (m, r)) in specs {
-                    self.register_worker_at(SimTime::ZERO, node, m, r, sim);
+                    self.register_worker(node, m, r, sched);
                 }
                 self.phase = RunPhase::Uploading;
                 self.begin_upload_queue();
-                sim.schedule(SimTime::ZERO, Event::PumpUpload);
+                sched.at(SimTime::ZERO, Event::PumpUpload);
             }
-        }
-    }
-
-    // `register_worker` exists in two flavours because bootstrap has a
-    // `Simulation` and runtime handlers have a `Scheduler`.
-    fn register_worker_at(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        map_slots: u8,
-        reduce_slots: u8,
-        sim: &mut hog_sim_core::Simulation<Self>,
-    ) {
-        self.register_worker_common(now, node, map_slots, reduce_slots);
-        let (hb, check) = self.worker_timers(node);
-        sim.schedule(now + hb, Event::Heartbeat { node });
-        if let Some(d) = check {
-            sim.schedule(now + d, Event::DiskCheck { node });
         }
     }
 
@@ -566,6 +574,85 @@ impl Cluster {
     }
 
     // ==================================================================
+    // Pool mode (hog-fed)
+    // ==================================================================
+
+    /// The configuration this cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Pool mode: whether home data is uploaded and the pool is waiting
+    /// for the federation's `begin_workload` go-signal.
+    pub fn pool_ready(&self) -> bool {
+        self.pool_ready
+    }
+
+    /// Pool mode: drain the schedule indices whose submission timeline
+    /// fired here since the last drain (they await routing).
+    pub fn take_pending_routes(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.pending_routes)
+    }
+
+    /// Pool mode: drain the runtime dataset stagings that completed since
+    /// the last drain.
+    pub fn take_completed_stagings(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.completed_stagings)
+    }
+
+    /// Pool mode: submit schedule index `index` to *this* pool's
+    /// JobTracker (the meta-scheduler routed it here). The input dataset
+    /// must already be resident (home, or staged via
+    /// [`Cluster::stage_dataset`]).
+    pub fn external_submit(&mut self, index: usize, sched: &mut Scheduler<'_, Event>) {
+        self.on_submit_job(sched, index);
+    }
+
+    /// Pool mode: write schedule index `index`'s input dataset into this
+    /// pool's HDFS at `replication`, during the Running phase (cross-pool
+    /// staging: the bytes already crossed the inter-pool WAN; this stages
+    /// them onto local datanodes). Completion is reported through
+    /// [`Cluster::take_completed_stagings`].
+    pub fn stage_dataset(
+        &mut self,
+        index: usize,
+        replication: u16,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        debug_assert!(self.cfg.pool.is_some());
+        let f = self.input_files[index];
+        self.masters.nn.set_file_replication(f, replication);
+        let blocks = self.schedule[index].maps as usize;
+        if blocks == 0 || self.staging.contains_key(&f) {
+            self.completed_stagings.push(index);
+            return;
+        }
+        self.staging.insert(f, (index, blocks));
+        let block_size = self.cfg.hdfs.block_size;
+        for _ in 0..blocks {
+            self.upload_queue.push_back((f, block_size));
+        }
+        self.pump_upload(sched);
+    }
+
+    /// One staged block reached a terminal state (committed or
+    /// permanently failed); completes the file when it was the last.
+    fn staging_block_done(&mut self, file: FileId) {
+        let Some((index, remaining)) = self.staging.get_mut(&file) else {
+            return;
+        };
+        *remaining -= 1;
+        if *remaining == 0 {
+            let index = *index;
+            self.staging.remove(&file);
+            self.masters.nn.complete_file(file);
+            self.tracer
+                .emit(|| TraceEvent::new(Layer::Fed, "stage_done").with("index", index));
+            self.completed_stagings.push(index);
+        }
+    }
+
+    // ==================================================================
     // Upload
     // ==================================================================
 
@@ -577,6 +664,13 @@ impl Cluster {
                 .nn
                 .create_file(format!("/in/job{i}"), self.cfg.hdfs.replication);
             self.input_files.push(f);
+            // Pool mode: every file exists (so `input_files[i]` stays
+            // aligned with the schedule), but only datasets homed here
+            // get their blocks written now; foreign datasets stay empty
+            // until the federation stages them over the inter-pool WAN.
+            if self.cfg.pool.as_ref().is_some_and(|p| !p.is_home(i)) {
+                continue;
+            }
             for _ in 0..spec.maps {
                 self.upload_queue.push_back((f, block));
             }
@@ -595,6 +689,7 @@ impl Cluster {
                 }
                 None => {
                     self.counters.upload_alloc_failures += 1;
+                    self.staging_block_done(file);
                 }
             }
         }
@@ -607,7 +702,12 @@ impl Cluster {
     }
 
     fn finish_upload(&mut self, sched: &mut Scheduler<'_, Event>) {
-        for &f in &self.input_files {
+        for (i, &f) in self.input_files.iter().enumerate() {
+            // Pool mode: foreign datasets are still empty placeholders;
+            // completing them would freeze them at zero blocks.
+            if self.cfg.pool.as_ref().is_some_and(|p| !p.is_home(i)) {
+                continue;
+            }
             self.masters.nn.complete_file(f);
         }
         if std::env::var("HOG_DEBUG_WRITES").is_ok() {
@@ -635,7 +735,21 @@ impl Cluster {
             self.tracer
                 .emit(|| TraceEvent::new(Layer::Core, "master_checkpoint").with("count", 1usize));
         }
-        let base = sched.now();
+        if self.cfg.pool.is_some() {
+            // Pool mode: the federation decides when the workload starts
+            // (all pools must be ready and cross-pool replicas staged);
+            // it will call `begin_workload` then.
+            self.pool_ready = true;
+            return;
+        }
+        self.begin_workload(sched.now(), sched);
+    }
+
+    /// Anchor the submission + fault timeline at `base` and start feeding
+    /// it to the event queue. Standalone clusters call this from
+    /// `finish_upload`; in pool mode the federation calls it once every
+    /// pool is ready (so `base` is the same instant federation-wide).
+    pub fn begin_workload(&mut self, base: SimTime, sched: &mut Scheduler<'_, Event>) {
         self.workload_start = Some(base + (self.schedule[0].submit_at - SimTime::ZERO));
         // Build the dispatch plan instead of pushing every event now: the
         // full Facebook schedule plus fault plan used to sit in the queue
@@ -645,6 +759,11 @@ impl Cluster {
         // pops in the identical order.
         let mut plan: Vec<(SimTime, u64, PlannedEvent)> = Vec::new();
         for (i, spec) in self.schedule.iter().enumerate() {
+            // Pool mode: each index's submission timeline fires in its
+            // home pool only (the fired event is then routed anywhere).
+            if self.cfg.pool.as_ref().is_some_and(|p| !p.is_home(i)) {
+                continue;
+            }
             let at = base + (spec.submit_at - SimTime::ZERO);
             plan.push((at, 0, PlannedEvent::SubmitJob(i)));
         }
@@ -825,6 +944,7 @@ impl Cluster {
         match st.owner {
             WriteOwner::Upload => {
                 self.upload_in_flight -= 1;
+                self.staging_block_done(st.file);
                 // Pump via an event, not a direct call: a long run of
                 // synchronously-failing writes must not recurse.
                 sched.now_event(Event::PumpUpload);
@@ -912,6 +1032,7 @@ impl Cluster {
             WriteOwner::Upload => {
                 self.upload_in_flight -= 1;
                 self.counters.upload_alloc_failures += 1;
+                self.staging_block_done(file);
                 sched.now_event(Event::PumpUpload);
             }
             WriteOwner::ReduceOutput { attempt } => {
@@ -2039,6 +2160,7 @@ impl Cluster {
             Fault::MasterStall { .. } => "master_stall",
             Fault::MasterCrash => "master_crash",
             Fault::CorruptAccounting { .. } => "corrupt_accounting",
+            Fault::PoolPartition { .. } => "pool_partition",
         }
     }
 
@@ -2142,6 +2264,11 @@ impl Cluster {
                 if let Some(&n) = self.daemons_up.iter().next() {
                     self.masters.nn.debug_skew_used(n, delta_bytes);
                 }
+            }
+            Fault::PoolPartition { .. } => {
+                // The inter-pool WAN lives above a standalone cluster; the
+                // federation executor intercepts this fault and freezes
+                // its `WanTier`. Here it is recorded (trace above) only.
             }
         }
     }
@@ -2425,7 +2552,14 @@ impl Model for Cluster {
             }
             Event::SubmitJob { index } => {
                 self.pump_dispatch(sched);
-                self.on_submit_job(sched, index)
+                if self.cfg.pool.is_some() {
+                    // Pool mode: the fired submission goes to the
+                    // federation's meta-scheduler, which picks a pool and
+                    // calls `external_submit` there at this same instant.
+                    self.pending_routes.push(index);
+                } else {
+                    self.on_submit_job(sched, index)
+                }
             }
             Event::PumpUpload => self.pump_upload(sched),
             Event::ResizePool { delta } => self.on_resize_pool(sched, delta),

@@ -153,6 +153,28 @@ impl FailoverConfig {
     }
 }
 
+/// Federation pool membership (hog-fed). A cluster carrying a `PoolRole`
+/// runs in *pool mode*: it uploads only the datasets homed in it, fires
+/// the submission timeline for its home jobs, and hands every fired
+/// submission to the federation's meta-scheduler for routing instead of
+/// submitting locally. A 1-pool federation whose single pool homes every
+/// job replays byte-identically to the same config without a role.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolRole {
+    /// Index of this pool within the federation.
+    pub pool_id: usize,
+    /// Schedule indices whose datasets live (and whose submission
+    /// timeline fires) in this pool. Sorted ascending.
+    pub home_jobs: Vec<usize>,
+}
+
+impl PoolRole {
+    /// Whether schedule index `i` is homed in this pool.
+    pub fn is_home(&self, i: usize) -> bool {
+        self.home_jobs.binary_search(&i).is_ok()
+    }
+}
+
 /// Everything needed to build a cluster.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -201,6 +223,9 @@ pub struct ClusterConfig {
     /// `None` (the default) keeps the single-master behaviour
     /// byte-identical to pre-failover builds.
     pub failover: Option<FailoverConfig>,
+    /// Federation pool membership (hog-fed). `None` (the default) is the
+    /// ordinary standalone cluster.
+    pub pool: Option<PoolRole>,
 }
 
 impl ClusterConfig {
@@ -236,6 +261,7 @@ impl ClusterConfig {
             obs: ObsOptions::default(),
             elastic: None,
             failover: None,
+            pool: None,
         }
     }
 
@@ -273,6 +299,7 @@ impl ClusterConfig {
             obs: ObsOptions::default(),
             elastic: None,
             failover: None,
+            pool: None,
         }
     }
 

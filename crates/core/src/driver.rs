@@ -152,8 +152,6 @@ pub fn run_workload_with_events(
     horizon: SimDuration,
     extra: Vec<(SimTime, crate::event::Event)>,
 ) -> RunResult {
-    let name = cfg.name.clone();
-    let seed = cfg.seed;
     let mut cluster = Cluster::new(cfg, schedule);
     let mut sim = Simulation::new()
         .with_horizon(SimTime::ZERO + horizon)
@@ -163,7 +161,20 @@ pub fn run_workload_with_events(
         sim.schedule(at, ev);
     }
     let stats = sim.run(&mut cluster);
+    collect_result(cluster, schedule, stats)
+}
 
+/// Turn a finished (or horizon-cut) cluster model into a [`RunResult`].
+/// Shared by [`run_workload`] and the hog-fed federation executor, which
+/// drives pool clusters itself and synthesizes per-pool
+/// [`hog_sim_core::engine::RunStats`].
+pub fn collect_result(
+    mut cluster: Cluster,
+    schedule: &SubmissionSchedule,
+    stats: hog_sim_core::engine::RunStats,
+) -> RunResult {
+    let name = cluster.config().name.clone();
+    let seed = cluster.config().seed;
     let workload_start = cluster.workload_start;
     let response_time = match (workload_start, cluster.workload_end) {
         (Some(s), Some(e)) => Some(e.saturating_since(s)),

@@ -25,9 +25,11 @@ pub mod fluid;
 pub mod params;
 pub mod static_net;
 pub mod topology;
+pub mod wan;
 
 pub use fluid::FluidNet;
 pub use params::NetParams;
+pub use wan::{WanDone, WanTier, WanTransferId};
 pub use static_net::StaticNet;
 pub use topology::{site_domain_of, NodeId, RackId, SiteId, Topology, RACK_SIZE};
 

@@ -29,17 +29,20 @@ pub enum Layer {
     Net,
     /// Fault injection and chaos supervision.
     Chaos,
+    /// Federation: meta-scheduler routing, cross-pool staging, pool health.
+    Fed,
 }
 
 impl Layer {
     /// All layers, in display order.
-    pub const ALL: [Layer; 6] = [
+    pub const ALL: [Layer; 7] = [
         Layer::Core,
         Layer::Grid,
         Layer::Hdfs,
         Layer::MapReduce,
         Layer::Net,
         Layer::Chaos,
+        Layer::Fed,
     ];
 
     /// Stable lowercase name used in exports.
@@ -51,6 +54,7 @@ impl Layer {
             Layer::MapReduce => "mapreduce",
             Layer::Net => "net",
             Layer::Chaos => "chaos",
+            Layer::Fed => "fed",
         }
     }
 }

@@ -19,6 +19,17 @@ pub struct Scheduler<'a, E> {
 }
 
 impl<'a, E> Scheduler<'a, E> {
+    /// Build a scheduler handle over `queue` with the clock at `now`.
+    ///
+    /// [`Simulation::run`] constructs these internally; this constructor
+    /// exists for external executors (e.g. a federation co-simulating
+    /// several models, each with its own queue, under one global clock)
+    /// that need to hand a model the same handle the driver loop would.
+    #[inline]
+    pub fn over(now: SimTime, queue: &'a mut EventQueue<E>) -> Self {
+        Scheduler { now, queue }
+    }
+
     /// The current simulation time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -157,6 +168,12 @@ impl<M: Model> Simulation<M> {
     /// Seed an initial event before the run starts.
     pub fn schedule(&mut self, at: SimTime, event: M::Event) {
         self.queue.push(at, event);
+    }
+
+    /// A scheduler handle over this simulation's queue at the current
+    /// clock, for bootstrap code shared with externally-driven executors.
+    pub fn scheduler(&mut self) -> Scheduler<'_, M::Event> {
+        Scheduler::over(self.now, &mut self.queue)
     }
 
     /// Drive `model` until the queue drains, the model finishes, the

@@ -39,7 +39,7 @@ pub mod units;
 
 pub use audit::{Auditable, Violation};
 pub use dist::{Exponential, LogNormal, UniformDuration};
-pub use engine::{Model, Simulation};
+pub use engine::{Model, Scheduler, Simulation};
 pub use metrics::{Counter, Histogram, StepSeries, Summary, TimeRegression};
 pub use queue::EventQueue;
 pub use rng::SimRng;

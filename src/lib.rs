@@ -17,6 +17,7 @@
 //! | [`chaos`] (`hog-chaos`) | fault plans, invariant auditing, livelock watchdog |
 //! | [`obs`] (`hog-obs`) | structured tracing, flight recorder, metrics registry |
 //! | [`core`] (`hog-core`) | the HOG system, baselines, experiments |
+//! | [`fed`] (`hog-fed`) | federated multi-pool HOG: meta-scheduler + cross-pool placement |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use hog_chaos as chaos;
 pub use hog_core as core;
+pub use hog_fed as fed;
 pub use hog_grid as grid;
 pub use hog_hdfs as hdfs;
 pub use hog_mapreduce as mapreduce;
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use hog_core::{
         ChaosOptions, ClusterConfig, FailoverConfig, PlacementKind, ResourceConfig, SchedPolicy,
     };
+    pub use hog_fed::{run_federation, FedConfig, FedResult, RoutingPolicy};
     pub use hog_obs::{ObsOptions, TraceLog, TraceMode};
     pub use hog_sim_core::{SimDuration, SimTime};
     pub use hog_workload::SubmissionSchedule;
