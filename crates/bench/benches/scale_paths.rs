@@ -8,10 +8,14 @@
 //! * `namenode_tick/*` — one replication-monitor tick with a deep
 //!   under-replication queue. The bucketed queue dispatches without the
 //!   per-tick sort of the whole backlog.
+//! * `jobtracker_heartbeat/*` — one cluster-wide heartbeat round against
+//!   a loaded job queue. The incremental job-order cache and pending-only
+//!   locality index keep the per-heartbeat cost flat in tracker count.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hog_hdfs::placement::SiteAwarePolicy;
-use hog_hdfs::{HdfsConfig, Namenode};
+use hog_hdfs::{BlockId, HdfsConfig, Namenode};
+use hog_mapreduce::{Assignment, JobSubmission, JobTracker, MrParams};
 use hog_net::{FluidNet, NetParams, Network, NodeId, SiteId, Topology};
 use hog_sim_core::{SimRng, SimTime};
 use std::hint::black_box;
@@ -101,5 +105,88 @@ fn bench_namenode_tick(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fluid_recompute, bench_namenode_tick);
+/// A JobTracker with `trackers` registered workers over `trackers / 200`
+/// sites and `jobs` submitted jobs whose splits land on real workers, plus
+/// the matching topology. Speculation is off so the measured round is the
+/// pure assignment path (no speculative rescans).
+fn loaded_jt(trackers: u32, jobs: u32) -> (JobTracker, Topology, Vec<NodeId>) {
+    let mut topo = Topology::new();
+    let mut nodes = Vec::with_capacity(trackers as usize);
+    let sites = (trackers / 200).max(1);
+    for s in 0..sites {
+        let site = topo.add_site(format!("S{s}"), format!("s{s}.edu"));
+        for _ in 0..trackers.div_ceil(sites) {
+            if nodes.len() < trackers as usize {
+                nodes.push(topo.add_node(site));
+            }
+        }
+    }
+    let mut jt = JobTracker::new(
+        MrParams::hog().with_speculation(false),
+        SimRng::seed_from_u64(11),
+    );
+    for &n in &nodes {
+        jt.register_tracker(SimTime::ZERO, n, topo.site_of(n), 1, 1);
+    }
+    for j in 0..jobs {
+        let maps = 50usize;
+        let spec = JobSubmission {
+            input_blocks: (0..maps)
+                .map(|i| (BlockId((j as u64) << 20 | i as u64), 64 << 20))
+                .collect(),
+            split_locations: (0..maps)
+                .map(|i| {
+                    // Three replicas per split, scattered like placement
+                    // would scatter them.
+                    (0..3usize)
+                        .map(|r| nodes[(i * 997 + r * 131 + j as usize * 7919) % nodes.len()])
+                        .collect()
+                })
+                .collect(),
+            reduces: 4,
+            map_cpu_secs: 30.0,
+            map_output_bytes: 16 << 20,
+            reduce_cpu_secs: 10.0,
+            reduce_output_bytes: 16 << 20,
+            output_replication: 10,
+        };
+        jt.submit_job(SimTime::ZERO, spec, &topo);
+    }
+    (jt, topo, nodes)
+}
+
+fn bench_jobtracker_heartbeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jobtracker_heartbeat");
+    group.sample_size(10);
+    for &(trackers, jobs) in &[(1_000u32, 10u32), (1_000, 100), (10_000, 10), (10_000, 100)] {
+        let name = format!("{trackers}_trackers_{jobs}_jobs");
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || loaded_jt(trackers, jobs),
+                |(mut jt, topo, nodes)| {
+                    // One cluster-wide heartbeat round, assignments
+                    // drained into a reused buffer exactly like the
+                    // cluster's batched dispatch loop does.
+                    let now = SimTime::from_secs(3);
+                    let mut out: Vec<Assignment> = Vec::new();
+                    let mut assigned = 0usize;
+                    for &n in &nodes {
+                        jt.heartbeat_into(now, n, &topo, &mut out);
+                        assigned += out.len();
+                    }
+                    black_box(assigned)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fluid_recompute,
+    bench_namenode_tick,
+    bench_jobtracker_heartbeat
+);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Tracked scale benchmark: replay the truncated Facebook workload on HOG
-//! pools of 100 / 300 / 1101 nodes (the paper's §V upper bound) and record
+//! pools of 100 / 300 / 1101 nodes (the paper's §V sweep) plus synthetic
+//! 3000- and 10000-node extrapolation tiers, and record
 //! the *simulator's* performance trajectory — wall-clock, events/sec,
 //! fluid-net recompute count and work, and peak event-queue depth — plus a
 //! determinism fingerprint of the simulated outcome so perf work can prove
@@ -34,8 +35,11 @@ use hog_workload::SubmissionSchedule;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Pool sizes replayed by the full benchmark (paper §V sweeps up to 1101).
-const TIERS: [usize; 3] = [100, 300, 1101];
+/// Pool sizes replayed by the full benchmark. 100/300/1101 are the paper's
+/// §V sweep (1101 its upper bound); 3000 and 10000 extrapolate past the
+/// paper onto synthetic OSG sites (`scaled_sites`) to exercise the
+/// batched master tick at scales the per-event dispatch could not reach.
+const TIERS: [usize; 5] = [100, 300, 1101, 3000, 10000];
 /// Wall-clock regression gate for `--check` (fraction of baseline).
 const REGRESSION_FRAC: f64 = 0.25;
 /// Absolute slack below which a regression is considered timer noise.

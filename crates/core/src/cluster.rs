@@ -285,6 +285,9 @@ pub struct Cluster {
     armed_net_ticks: BTreeSet<SimTime>,
     /// Reusable buffer for `Network::advance_into` (NetTick hot path).
     flow_end_buf: Vec<FlowEnd>,
+    /// Reusable buffer for `JobTracker::heartbeat_into` (Heartbeat hot
+    /// path): one allocation serves every heartbeat of the run.
+    assign_buf: Vec<Assignment>,
     /// Deferred schedule/fault-plan dispatch: instead of flooding the
     /// event queue with every SubmitJob/Chaos/ChaosEnd at workload start,
     /// the plan is kept here sorted by firing order and fed to the queue
@@ -405,6 +408,7 @@ impl Cluster {
             flows_done: 0,
             armed_net_ticks: BTreeSet::new(),
             flow_end_buf: Vec::new(),
+            assign_buf: Vec::new(),
             dispatch_plan: Vec::new(),
             dispatch_cursor: 0,
             chaos_failure: None,
@@ -1168,7 +1172,11 @@ impl Cluster {
             ResourceConfig::Fixed { .. } => (1, 1),
         };
         self.register_worker(node, m, r, sched);
-        if self.phase == RunPhase::Forming && self.daemons_up.len() >= self.target_nodes {
+        // Under churn a glidein pool carries a standing deficit of
+        // (death rate x acquisition delay) nodes, so huge pools may never
+        // hit `target_nodes` exactly; `formation_grace` admits that slack.
+        let grace = (self.target_nodes as f64 * self.cfg.formation_grace) as usize;
+        if self.phase == RunPhase::Forming && self.daemons_up.len() >= self.target_nodes - grace {
             self.phase = RunPhase::Uploading;
             self.tracer.emit(|| {
                 TraceEvent::new(Layer::Core, "phase")
@@ -1227,14 +1235,41 @@ impl Cluster {
         self.masters.jt.job(att.task.job).task(att.task).attempts[att.attempt as usize].node
     }
 
+    /// One tasktracker heartbeat: deliver it to the JobTracker (unless
+    /// the worker is partitioned or the master is stalled/down) and
+    /// launch whatever was assigned, then re-arm the timer. The
+    /// assignment buffer is reused across every heartbeat of the run.
+    fn on_heartbeat(&mut self, sched: &mut Scheduler<'_, Event>, node: NodeId) {
+        if !self.daemons_up.contains(&node) {
+            return; // daemon gone: heartbeats stop
+        }
+        // A partitioned worker keeps its daemons (and this timer)
+        // alive, but its heartbeats never reach the JobTracker; a
+        // stalled or crashed master receives nothing. Either way
+        // the masters' timeout machinery sees silence.
+        let stalled = self
+            .master_stalled_until
+            .is_some_and(|until| sched.now() < until);
+        if !self.partitioned.contains(&node) && !stalled && !self.masters.is_down() {
+            let mut assignments = std::mem::take(&mut self.assign_buf);
+            self.masters
+                .jt
+                .heartbeat_into(sched.now(), node, &self.topo, &mut assignments);
+            self.start_assignments(sched, node, &assignments);
+            assignments.clear();
+            self.assign_buf = assignments;
+        }
+        sched.after(self.cfg.mr.heartbeat_interval, Event::Heartbeat { node });
+    }
+
     fn start_assignments(
         &mut self,
         sched: &mut Scheduler<'_, Event>,
         node: NodeId,
-        assignments: Vec<Assignment>,
+        assignments: &[Assignment],
     ) {
         for a in assignments {
-            match a {
+            match *a {
                 Assignment::Map {
                     attempt,
                     block,
@@ -2475,23 +2510,7 @@ impl Model for Cluster {
                 self.arm_net(sched);
             }
             Event::MasterTick => self.on_master_tick(sched),
-            Event::Heartbeat { node } => {
-                if !self.daemons_up.contains(&node) {
-                    return; // daemon gone: heartbeats stop
-                }
-                // A partitioned worker keeps its daemons (and this timer)
-                // alive, but its heartbeats never reach the JobTracker; a
-                // stalled or crashed master receives nothing. Either way
-                // the masters' timeout machinery sees silence.
-                let stalled = self
-                    .master_stalled_until
-                    .is_some_and(|until| sched.now() < until);
-                if !self.partitioned.contains(&node) && !stalled && !self.masters.is_down() {
-                    let assignments = self.masters.jt.heartbeat(sched.now(), node, &self.topo);
-                    self.start_assignments(sched, node, assignments);
-                }
-                sched.after(self.cfg.mr.heartbeat_interval, Event::Heartbeat { node });
-            }
+            Event::Heartbeat { node } => self.on_heartbeat(sched, node),
             Event::DiskCheck { node } => {
                 if !self.daemons_up.contains(&node) {
                     return;
@@ -2574,6 +2593,57 @@ impl Model for Cluster {
             }
             Event::MasterPromote => self.on_master_promote(sched),
         }
+    }
+
+    /// Heartbeats coalesce: the stagger spreads first fires across the
+    /// interval, but at thousands of nodes many timers still share an
+    /// instant (at 10k nodes ~3 heartbeats land per simulated ms), and
+    /// one dispatch can drain the whole same-time run. Everything else
+    /// keeps per-event dispatch.
+    fn batchable(&self, event: &Event) -> bool {
+        matches!(event, Event::Heartbeat { .. })
+    }
+
+    /// Drain a same-instant run of heartbeats in one dispatch, hoisting
+    /// the per-batch constants a single heartbeat would recompute: the
+    /// trace clock and the master-side delivery predicates. A heartbeat
+    /// only mutates JobTracker/worker state — nothing in it stalls,
+    /// crashes or revives the master, so reading those predicates once
+    /// per instant is decision-identical to re-reading them per event.
+    /// Per-node gates (daemon up, partitioned) stay inside the loop.
+    fn handle_batch(
+        &mut self,
+        events: &mut std::collections::VecDeque<Event>,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        self.tracer.advance(sched.now());
+        let stalled = self
+            .master_stalled_until
+            .is_some_and(|until| sched.now() < until);
+        let master_reachable = !stalled && !self.masters.is_down();
+        let hb = self.cfg.mr.heartbeat_interval;
+        let mut assignments = std::mem::take(&mut self.assign_buf);
+        while !self.finished() {
+            let Some(event) = events.pop_front() else { break };
+            let Event::Heartbeat { node } = event else {
+                // `batchable` admits only heartbeats; keep the contract
+                // anyway.
+                self.handle(event, sched);
+                continue;
+            };
+            if !self.daemons_up.contains(&node) {
+                continue; // daemon gone: heartbeats stop
+            }
+            if master_reachable && !self.partitioned.contains(&node) {
+                self.masters
+                    .jt
+                    .heartbeat_into(sched.now(), node, &self.topo, &mut assignments);
+                self.start_assignments(sched, node, &assignments);
+            }
+            sched.after(hb, Event::Heartbeat { node });
+        }
+        assignments.clear();
+        self.assign_buf = assignments;
     }
 
     fn finished(&self) -> bool {

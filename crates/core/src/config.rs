@@ -192,6 +192,13 @@ pub struct ClusterConfig {
     pub loadgen: LoadgenParams,
     /// Worker provisioning.
     pub resource: ResourceConfig,
+    /// Fraction of `resource.target_nodes` the forming pool may still be
+    /// missing when the upload phase starts. `0.0` (the default) demands
+    /// the full pool — the paper's behaviour, and byte-identical to
+    /// pre-knob builds. Past the paper's scale churn keeps a standing
+    /// deficit of roughly `death_rate × acquisition_delay` glideins, so
+    /// strict equality is unreachable and a small grace is required.
+    pub formation_grace: f64,
     /// Zombie-datanode mode.
     pub zombie: ZombieConfig,
     /// Placement policy.
@@ -238,6 +245,19 @@ impl ClusterConfig {
             output_replication: hdfs.replication,
             ..LoadgenParams::calibrated()
         };
+        // Within the paper's five-site capacity the pool forms completely
+        // (its exact behaviour); past it, preemption churn makes a full
+        // simultaneous pool unreachable, so formation tolerates a 1%
+        // deficit — far above the expected standing deficit at 10k nodes.
+        let paper_capacity: usize = hog_grid::config::paper_sites()
+            .iter()
+            .map(|s| s.max_slots)
+            .sum();
+        let formation_grace = if target_nodes > paper_capacity {
+            0.01
+        } else {
+            0.0
+        };
         ClusterConfig {
             name: format!("hog-{target_nodes}"),
             seed,
@@ -247,10 +267,13 @@ impl ClusterConfig {
             loadgen,
             resource: ResourceConfig::Grid {
                 params: GridParams::default(),
-                sites: hog_grid::config::paper_sites(),
+                // Exactly the paper's five sites through 1101 nodes;
+                // synthetic OSG sites appear only past the paper's scale.
+                sites: hog_grid::config::scaled_sites(target_nodes),
                 target_nodes,
                 slots: (1, 1),
             },
+            formation_grace,
             zombie: ZombieConfig::off(),
             placement: PlacementKind::SiteAware,
             upload_parallel: 8,
@@ -289,6 +312,7 @@ impl ClusterConfig {
                 domain: "local.unl.edu".to_string(),
                 nodes,
             },
+            formation_grace: 0.0,
             zombie: ZombieConfig::off(),
             placement: PlacementKind::RackAware,
             upload_parallel: 8,

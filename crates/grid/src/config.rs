@@ -121,6 +121,36 @@ pub fn paper_sites() -> Vec<SiteConfig> {
     ]
 }
 
+/// Site list able to host `target_nodes` glideins with ~20% headroom for
+/// churn replacement (a dead glidein resubmits while its slot drains, so
+/// the controller needs spare capacity beyond the steady-state target).
+///
+/// Up to the paper's scale this is exactly [`paper_sites`] — the five
+/// pinned OSG sites (1450 slots) cover every experiment in the paper,
+/// 1101 nodes included, so existing runs are bit-identical. Past that,
+/// synthetic 400-slot public-IP sites (`OSG_SYN_00` at `syn0.osg.grid`,
+/// `OSG_SYN_01` at `syn1.osg.grid`, ...) are appended until capacity
+/// reaches the headroomed target — what pinning more `requirements =
+/// GLIDEIN_ResourceName` clauses onto additional OSG sites would look
+/// like. They use the [`SiteConfig::stable`] profile, matching the five
+/// real sites.
+pub fn scaled_sites(target_nodes: usize) -> Vec<SiteConfig> {
+    let mut sites = paper_sites();
+    let needed = target_nodes + target_nodes / 5;
+    let mut capacity: usize = sites.iter().map(|s| s.max_slots).sum();
+    let mut i = 0usize;
+    while capacity < needed {
+        sites.push(SiteConfig::stable(
+            &format!("OSG_SYN_{i:02}"),
+            &format!("syn{i}.osg.grid"),
+            400,
+        ));
+        capacity += 400;
+        i += 1;
+    }
+    sites
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +183,36 @@ mod tests {
     fn default_params_match_paper() {
         let p = GridParams::default();
         assert_eq!(p.package_bytes, 75 * MIB);
+    }
+
+    #[test]
+    fn scaled_sites_match_paper_through_1101() {
+        // Everything up to the paper's largest run must keep the exact
+        // five-site list, or the historical fingerprints change.
+        for target in [30, 100, 300, 1101] {
+            let sites = scaled_sites(target);
+            assert_eq!(sites.len(), 5, "target {target} must stay on paper sites");
+        }
+    }
+
+    #[test]
+    fn scaled_sites_synthesize_capacity_with_headroom() {
+        for target in [3000usize, 10000] {
+            let sites = scaled_sites(target);
+            let capacity: usize = sites.iter().map(|s| s.max_slots).sum();
+            assert!(
+                capacity >= target + target / 5,
+                "target {target}: capacity {capacity} lacks 20% headroom"
+            );
+            assert!(sites.iter().all(|s| s.public_ip));
+            // Synthetic names are distinct from each other and the real ones.
+            let mut names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), sites.len(), "site names must be unique");
+        }
+        let sites = scaled_sites(3000);
+        assert_eq!(sites[5].name, "OSG_SYN_00");
+        assert_eq!(sites[5].domain, "syn0.osg.grid");
     }
 }

@@ -121,6 +121,19 @@ impl ReplQueue {
     }
 }
 
+/// Memoized result of [`Namenode::candidates`] for the hot empty-exclude
+/// allocation path (every `allocate_block` call during an upload). Valid
+/// only while `epoch` matches `Namenode::dn_epoch` — bumped on every
+/// datanode-record mutation — and the block size matches; `epoch` 0 never
+/// matches. The cached vector is exactly what a fresh ascending scan of
+/// `datanodes` would produce, so hits are bit-identical to misses.
+#[derive(Clone, Default)]
+struct CandCache {
+    epoch: u64,
+    size: u64,
+    cands: Vec<Candidate>,
+}
+
 /// The HDFS master. See the module docs for the liveness protocol.
 ///
 /// `Clone` snapshots the namenode wholesale (namespace, block map,
@@ -134,6 +147,17 @@ pub struct Namenode {
     files: Vec<FileMeta>,
     blocks: Vec<BlockMeta>,
     datanodes: BTreeMap<NodeId, DatanodeInfo>,
+    /// Exactly the datanodes whose liveness is `Silent`, so the per-tick
+    /// death check walks suspects instead of the whole datanode map.
+    /// Ascending, like a full scan of `datanodes` (audited).
+    silent: BTreeSet<NodeId>,
+    /// Datanodes whose liveness is `Dead`, for O(1) `reported_live`.
+    dead_datanodes: usize,
+    /// Generation counter for `datanodes`: any mutation of a datanode
+    /// record (liveness, usage, registration) bumps it, invalidating
+    /// `cand_cache`.
+    dn_epoch: u64,
+    cand_cache: CandCache,
     /// Blocks below their replication target, bucketed by replica count.
     needs_repl: ReplQueue,
     /// In-flight replication targets per block (counted against deficit).
@@ -156,6 +180,10 @@ impl Namenode {
             files: Vec::new(),
             blocks: Vec::new(),
             datanodes: BTreeMap::new(),
+            silent: BTreeSet::new(),
+            dead_datanodes: 0,
+            dn_epoch: 1,
+            cand_cache: CandCache::default(),
             needs_repl: ReplQueue::default(),
             pending_repl: HashMap::new(),
             rng,
@@ -219,21 +247,40 @@ impl Namenode {
     // Datanode liveness
     // ------------------------------------------------------------------
 
+    /// Record that datanode state changed, invalidating the candidates
+    /// cache. Called (conservatively, even when the mutation turns out to
+    /// be a no-op) by every method that can touch a datanode record.
+    #[inline]
+    fn dn_changed(&mut self) {
+        self.dn_epoch += 1;
+    }
+
     /// A new datanode reported in (worker started).
     pub fn register_datanode(&mut self, now: SimTime, node: NodeId) {
+        self.dn_changed();
         self.tracer
             .emit(|| TraceEvent::new(Layer::Hdfs, "dn_register").with("node", node.0));
-        self.datanodes
+        let old = self
+            .datanodes
             .insert(node, DatanodeInfo::new(self.cfg.datanode_capacity, now));
+        match old.map(|d| d.liveness) {
+            Some(DnLiveness::Dead) => self.dead_datanodes -= 1,
+            Some(DnLiveness::Silent) => {
+                self.silent.remove(&node);
+            }
+            _ => {}
+        }
     }
 
     /// The worker vanished cleanly: heartbeats stop now; death is declared
     /// after the timeout.
     pub fn mark_silent(&mut self, now: SimTime, node: NodeId) {
+        self.dn_changed();
         if let Some(dn) = self.datanodes.get_mut(&node) {
             if dn.liveness == DnLiveness::Live {
                 dn.liveness = DnLiveness::Silent;
                 dn.last_heartbeat = now;
+                self.silent.insert(node);
                 self.tracer
                     .emit(|| TraceEvent::new(Layer::Hdfs, "dn_silent").with("node", node.0));
             }
@@ -243,6 +290,7 @@ impl Namenode {
     /// The worker was preempted but its daemon survived outside the killed
     /// process tree: heartbeats continue while storage is gone.
     pub fn mark_storage_failed(&mut self, node: NodeId) {
+        self.dn_changed();
         if let Some(dn) = self.datanodes.get_mut(&node) {
             dn.storage_failed = true;
             self.tracer
@@ -261,15 +309,19 @@ impl Namenode {
     /// replication work.
     pub fn tick(&mut self, now: SimTime, topo: &Topology) -> NamenodeTickOutput {
         let mut out = NamenodeTickOutput::default();
-        // 1. Death detection.
+        // 1. Death detection. Walk only the Silent suspects
+        // (`self.silent` mirrors the liveness field exactly); ascending
+        // like the full-map scan this replaces, so the declaration order
+        // is unchanged.
         let overdue: Vec<NodeId> = self
-            .datanodes
+            .silent
             .iter()
-            .filter(|(_, dn)| {
-                dn.liveness == DnLiveness::Silent
-                    && now.saturating_since(dn.last_heartbeat) >= self.cfg.dead_node_timeout
+            .copied()
+            .filter(|n| {
+                self.datanodes.get(n).is_some_and(|dn| {
+                    now.saturating_since(dn.last_heartbeat) >= self.cfg.dead_node_timeout
+                })
             })
-            .map(|(&n, _)| n)
             .collect();
         for node in overdue {
             self.declare_dead(node);
@@ -292,9 +344,14 @@ impl Namenode {
     }
 
     fn declare_dead(&mut self, node: NodeId) {
+        self.dn_changed();
         let Some(dn) = self.datanodes.get_mut(&node) else {
             return;
         };
+        if dn.liveness != DnLiveness::Dead {
+            self.dead_datanodes += 1;
+        }
+        self.silent.remove(&node);
         dn.liveness = DnLiveness::Dead;
         let hosted: Vec<BlockId> = dn.blocks.iter().copied().collect();
         dn.blocks.clear();
@@ -314,19 +371,15 @@ impl Namenode {
 
     /// Number of datanodes the namenode currently believes alive (`Live`
     /// or `Silent`-within-timeout) — the "reported nodes" curve of Fig. 5.
+    /// O(1): `dead_datanodes` is maintained at every liveness transition.
     pub fn reported_live(&self) -> usize {
-        self.datanodes
-            .values()
-            .filter(|d| d.liveness != DnLiveness::Dead)
-            .count()
+        self.datanodes.len() - self.dead_datanodes
     }
 
     /// Number of datanodes heartbeating right now.
+    /// O(1): everything neither dead nor on the silent suspect list.
     pub fn live_count(&self) -> usize {
-        self.datanodes
-            .values()
-            .filter(|d| d.liveness == DnLiveness::Live)
-            .count()
+        self.datanodes.len() - self.dead_datanodes - self.silent.len()
     }
 
     /// Whether the namenode currently believes `node` usable.
@@ -396,13 +449,43 @@ impl Namenode {
         topo: &Topology,
     ) -> Option<(BlockId, Vec<NodeId>)> {
         let repl = self.files[file.0 as usize].replication;
-        let candidates = self.candidates(size, exclude, topo);
-        if candidates.is_empty() {
+        // Reuse the candidate scan across back-to-back allocations (an
+        // upload allocates one block per pipeline round-trip with no
+        // datanode churn in between). The scan is O(all datanodes) — at
+        // BENCH_scale tiers it dominates the write path without this.
+        // Taking the cache out of `self` sidesteps the borrow conflict
+        // with `self.policy`/`self.rng` below; an excluded-nodes retry is
+        // rare, so it recomputes and leaves the cache invalidated.
+        let mut cache = std::mem::take(&mut self.cand_cache);
+        let usable =
+            exclude.is_empty() && cache.epoch == self.dn_epoch && cache.size == size;
+        if !usable {
+            cache.cands.clear();
+            cache.cands.extend(
+                self.datanodes
+                    .iter()
+                    .filter(|(n, dn)| dn.can_accept(size) && !exclude.contains(n))
+                    .map(|(&n, dn)| Candidate {
+                        node: n,
+                        site: topo.site_of(n),
+                        free: dn.free(),
+                    }),
+            );
+            if exclude.is_empty() {
+                cache.epoch = self.dn_epoch;
+                cache.size = size;
+            } else {
+                cache.epoch = 0;
+            }
+        }
+        if cache.cands.is_empty() {
+            self.cand_cache = cache;
             return None;
         }
         let targets = self
             .policy
-            .choose(writer, repl as usize, &[], &candidates, &mut self.rng);
+            .choose(writer, repl as usize, &[], &cache.cands, &mut self.rng);
+        self.cand_cache = cache;
         if targets.is_empty() {
             return None;
         }
@@ -426,6 +509,33 @@ impl Namenode {
                 if dn.liveness != DnLiveness::Dead {
                     dn.add_block(block, size);
                     self.blocks[block.0 as usize].replicas.insert(n);
+                }
+            }
+        }
+        // The only datanode state touched above is `used` on `written`,
+        // and only upward — no node can become newly eligible. So instead
+        // of bumping the epoch (which would invalidate the candidate cache
+        // between every allocate/commit pair of an upload, i.e. exactly
+        // where it matters), patch the cached entries in place: the result
+        // is byte-identical to a fresh scan. The cache stays node-sorted
+        // because BTreeMap iteration built it ascending and removals keep
+        // relative order.
+        if self.cand_cache.epoch == self.dn_epoch {
+            for &n in written {
+                let Ok(i) = self
+                    .cand_cache
+                    .cands
+                    .binary_search_by_key(&n, |c| c.node)
+                else {
+                    continue;
+                };
+                match self.datanodes.get(&n) {
+                    Some(dn) if dn.can_accept(self.cand_cache.size) => {
+                        self.cand_cache.cands[i].free = dn.free();
+                    }
+                    _ => {
+                        self.cand_cache.cands.remove(i);
+                    }
                 }
             }
         }
@@ -454,6 +564,7 @@ impl Namenode {
     /// file, free any partial replicas, and stop tracking it for
     /// replication. The file simply ends up shorter.
     pub fn abandon_block(&mut self, block: BlockId) {
+        self.dn_changed();
         let meta = &mut self.blocks[block.0 as usize];
         let size = meta.size;
         meta.expected = 0;
@@ -471,6 +582,7 @@ impl Namenode {
 
     /// Delete a file: every replica of every block is dropped immediately.
     pub fn delete_file(&mut self, path: &str) {
+        self.dn_changed();
         let Some(id) = self.files_by_path.remove(path) else {
             return;
         };
@@ -532,6 +644,7 @@ impl Namenode {
     /// A reader found the replica unusable (zombie node, checksum error):
     /// invalidate it and queue re-replication.
     pub fn report_bad_replica(&mut self, block: BlockId, node: NodeId) {
+        self.dn_changed();
         self.bad_replica_reports.incr();
         self.tracer.emit(|| {
             TraceEvent::new(Layer::Hdfs, "bad_replica")
@@ -657,6 +770,7 @@ impl Namenode {
 
     /// A replication transfer finished (or failed / was killed).
     pub fn repl_done(&mut self, block: BlockId, src: NodeId, dst: NodeId, success: bool) {
+        self.dn_changed();
         self.tracer.emit(|| {
             TraceEvent::new(Layer::Hdfs, "repl_done")
                 .with("block", block.0)
@@ -773,10 +887,12 @@ impl Namenode {
     /// once declared `Dead` the node must re-register from scratch — its
     /// blocks were already dropped and queued for re-replication.
     pub fn mark_live(&mut self, now: SimTime, node: NodeId) {
+        self.dn_changed();
         if let Some(dn) = self.datanodes.get_mut(&node) {
             if dn.liveness == DnLiveness::Silent {
                 dn.liveness = DnLiveness::Live;
                 dn.last_heartbeat = now;
+                self.silent.remove(&node);
                 self.tracer
                     .emit(|| TraceEvent::new(Layer::Hdfs, "dn_revived").with("node", node.0));
             }
@@ -803,6 +919,7 @@ impl Namenode {
         node: NodeId,
         report: &[BlockId],
     ) -> (usize, usize) {
+        self.dn_changed();
         self.tracer.emit(|| {
             TraceEvent::new(Layer::Hdfs, "dn_block_report")
                 .with("node", node.0)
@@ -813,6 +930,13 @@ impl Namenode {
             .datanodes
             .entry(node)
             .or_insert_with(|| DatanodeInfo::new(cap, now));
+        match dn.liveness {
+            DnLiveness::Dead => self.dead_datanodes -= 1,
+            DnLiveness::Silent => {
+                self.silent.remove(&node);
+            }
+            DnLiveness::Live => {}
+        }
         dn.liveness = DnLiveness::Live;
         dn.last_heartbeat = now;
         dn.storage_failed = false;
@@ -847,6 +971,7 @@ impl Namenode {
     /// master), so pending targets and stream counts reset and the
     /// under-replication queue is rescanned from replica deficits.
     pub fn rebuild_replication_state(&mut self) {
+        self.dn_changed();
         self.pending_repl.clear();
         for dn in self.datanodes.values_mut() {
             dn.repl_streams = 0;
@@ -938,6 +1063,7 @@ impl Namenode {
     /// itself.
     #[doc(hidden)]
     pub fn debug_skew_used(&mut self, node: NodeId, delta: u64) {
+        self.dn_changed();
         if let Some(dn) = self.datanodes.get_mut(&node) {
             dn.used += delta;
         }
@@ -1019,6 +1145,38 @@ impl hog_sim_core::Auditable for Namenode {
                     Some(_) => {}
                 }
             }
+        }
+        // The silent suspect set and dead counter must mirror the
+        // per-datanode liveness fields exactly.
+        let silent_recount: BTreeSet<NodeId> = self
+            .datanodes
+            .iter()
+            .filter(|(_, dn)| dn.liveness == DnLiveness::Silent)
+            .map(|(&n, _)| n)
+            .collect();
+        if silent_recount != self.silent {
+            out.push(Violation::new(
+                "hdfs",
+                format!(
+                    "silent-datanode set drifted: cached {}, recounted {}",
+                    self.silent.len(),
+                    silent_recount.len()
+                ),
+            ));
+        }
+        let dead_recount = self
+            .datanodes
+            .values()
+            .filter(|d| d.liveness == DnLiveness::Dead)
+            .count();
+        if dead_recount != self.dead_datanodes {
+            out.push(Violation::new(
+                "hdfs",
+                format!(
+                    "dead-datanode count drifted: cached {}, recounted {dead_recount}",
+                    self.dead_datanodes
+                ),
+            ));
         }
         out
     }

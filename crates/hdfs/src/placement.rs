@@ -17,7 +17,6 @@
 
 use hog_net::{NodeId, SiteId};
 use hog_sim_core::SimRng;
-use std::collections::HashMap;
 
 /// A datanode eligible to receive a replica.
 #[derive(Clone, Copy, Debug)]
@@ -65,24 +64,6 @@ impl Clone for Box<dyn PlacementPolicy> {
     }
 }
 
-/// Count replicas per site over `existing` plus already-chosen targets.
-fn site_counts(
-    existing: &[(NodeId, SiteId)],
-    chosen: &[NodeId],
-    candidates: &[Candidate],
-) -> HashMap<SiteId, usize> {
-    let mut counts: HashMap<SiteId, usize> = HashMap::new();
-    for &(_, s) in existing {
-        *counts.entry(s).or_insert(0) += 1;
-    }
-    for &c in chosen {
-        if let Some(cand) = candidates.iter().find(|x| x.node == c) {
-            *counts.entry(cand.site).or_insert(0) += 1;
-        }
-    }
-    counts
-}
-
 /// HOG's site-aware placement.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SiteAwarePolicy;
@@ -104,41 +85,74 @@ impl PlacementPolicy for SiteAwarePolicy {
         if n == 0 || candidates.is_empty() {
             return chosen;
         }
+        // This runs on every block allocation with n = the replication
+        // factor (10 under the HOG preset), so it stays allocation-lean:
+        // a `taken` bitmap plus dense per-site replica counts replace the
+        // per-replica bucketing-into-HashMap-and-sort formulation. Every
+        // selection below is the unique minimum of a total order, so the
+        // chosen pipeline is identical to what that code produced.
+        let max_site = candidates
+            .iter()
+            .map(|c| c.site.0)
+            .chain(existing.iter().map(|&(_, s)| s.0))
+            .max()
+            .unwrap_or(0) as usize;
+        let mut site_count = vec![0u32; max_site + 1];
+        for &(_, s) in existing {
+            site_count[s.0 as usize] += 1;
+        }
+        let mut taken = vec![false; candidates.len()];
         // First replica: data locality — the writer's own datanode, when
         // it is a candidate and this is a fresh write.
         if existing.is_empty() {
             if let Some(w) = writer {
-                if candidates.iter().any(|c| c.node == w) {
+                if let Some(i) = candidates.iter().position(|c| c.node == w) {
                     chosen.push(w);
+                    taken[i] = true;
+                    site_count[candidates[i].site.0 as usize] += 1;
                 }
             }
         }
+        let mut ties: Vec<usize> = Vec::new();
         while chosen.len() < n {
-            let counts = site_counts(existing, &chosen, candidates);
-            // Group remaining candidates by site.
-            let mut per_site: HashMap<SiteId, Vec<&Candidate>> = HashMap::new();
-            for c in candidates {
-                if !chosen.contains(&c.node) {
-                    per_site.entry(c.site).or_default().push(c);
+            // Pick the site with the fewest replicas so far; break count
+            // ties by site id for determinism. Only sites that still have
+            // an unchosen candidate qualify.
+            let mut best: Option<(u32, SiteId)> = None;
+            for (i, c) in candidates.iter().enumerate() {
+                if taken[i] {
+                    continue;
+                }
+                let key = (site_count[c.site.0 as usize], c.site);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
                 }
             }
-            if per_site.is_empty() {
-                break;
-            }
-            // Pick the site with the fewest replicas so far; break count
-            // ties by site id for determinism.
-            let (&site, _) = per_site
-                .iter()
-                .min_by_key(|(&s, _)| (counts.get(&s).copied().unwrap_or(0), s))
-                .unwrap();
+            let Some((_, site)) = best else { break };
             // Inside the site prefer the emptiest node, tie-broken
-            // randomly (via node id shuffle under the run rng).
-            let nodes = per_site.get_mut(&site).unwrap();
-            nodes.sort_by_key(|c| (std::cmp::Reverse(c.free), c.node));
-            let top_free = nodes[0].free;
-            let ties: Vec<&&Candidate> = nodes.iter().take_while(|c| c.free == top_free).collect();
-            let pick = ties[rng.index(ties.len())].node;
-            chosen.push(pick);
+            // randomly (via node id shuffle under the run rng). Ties are
+            // ordered by ascending node id — what a stable sort by
+            // `(Reverse(free), node)` yields — so the draw below lands on
+            // the same node the sort-based code picked.
+            let mut top_free = 0u64;
+            ties.clear();
+            for (i, c) in candidates.iter().enumerate() {
+                if taken[i] || c.site != site {
+                    continue;
+                }
+                if ties.is_empty() || c.free > top_free {
+                    top_free = c.free;
+                    ties.clear();
+                    ties.push(i);
+                } else if c.free == top_free {
+                    ties.push(i);
+                }
+            }
+            ties.sort_unstable_by_key(|&i| candidates[i].node);
+            let pick = ties[rng.index(ties.len())];
+            taken[pick] = true;
+            site_count[site.0 as usize] += 1;
+            chosen.push(candidates[pick].node);
         }
         chosen
     }

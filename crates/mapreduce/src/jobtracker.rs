@@ -22,7 +22,7 @@ use hog_obs::{Layer, TraceEvent, Tracer};
 use hog_sched::{Gate, JobSnapshot, Scheduler, SlotKind};
 use hog_sim_core::metrics::Counter;
 use hog_sim_core::{SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 pub use hog_sched::Locality;
 
@@ -127,14 +127,60 @@ pub struct MapDoneOutput {
     pub wake_reduces: Vec<AttemptRef>,
 }
 
-/// Per-job locality index: static split locations, as Hadoop caches them
-/// at submission. The rack tier is consulted only by rack-aware policies
+/// Per-job locality index. The replica locations are fixed at submission
+/// (as Hadoop caches them), but membership tracks only maps still
+/// *pending*: every `pending_maps` transition updates the per-node/rack/
+/// site sets, so the locality ladder walks exactly the assignable
+/// candidates instead of filtering ever-longer lists of finished tasks.
+/// `BTreeSet` iteration is ascending by map index — the same pick the old
+/// static lists produced, since those were built in ascending map order.
+/// The rack tier is consulted only by rack-aware policies
 /// ([`Scheduler::rack_aware`]).
 #[derive(Clone, Default)]
 struct LocalityIndex {
-    by_node: HashMap<NodeId, Vec<u32>>,
-    by_rack: HashMap<RackId, Vec<u32>>,
-    by_site: HashMap<SiteId, Vec<u32>>,
+    /// Per-map `(node, rack, site)` replica triples, fixed at submission
+    /// so pending-set maintenance never needs the topology again.
+    locs: Vec<Vec<(NodeId, RackId, SiteId)>>,
+    /// Maps still pending with a replica on this node / rack / site.
+    pend_node: HashMap<NodeId, BTreeSet<u32>>,
+    pend_rack: HashMap<RackId, BTreeSet<u32>>,
+    pend_site: HashMap<SiteId, BTreeSet<u32>>,
+}
+
+impl LocalityIndex {
+    /// Map `m` became pending: add it to its replicas' candidate sets.
+    fn insert_pending(&mut self, m: u32) {
+        for &(n, r, s) in &self.locs[m as usize] {
+            self.pend_node.entry(n).or_default().insert(m);
+            self.pend_rack.entry(r).or_default().insert(m);
+            self.pend_site.entry(s).or_default().insert(m);
+        }
+    }
+
+    /// Map `m` left the pending set (assigned): drop it everywhere.
+    fn remove_pending(&mut self, m: u32) {
+        for &(n, r, s) in &self.locs[m as usize] {
+            if let Some(set) = self.pend_node.get_mut(&n) {
+                set.remove(&m);
+            }
+            if let Some(set) = self.pend_rack.get_mut(&r) {
+                set.remove(&m);
+            }
+            if let Some(set) = self.pend_site.get_mut(&s) {
+                set.remove(&m);
+            }
+        }
+    }
+}
+
+/// One slot kind's cached policy job order. Valid while `epoch` matches
+/// the JobTracker's `sched_epoch` (0 never matches — a fresh cache is
+/// always stale). The buffer is reused across rebuilds, so steady-state
+/// heartbeats allocate nothing.
+#[derive(Clone, Default)]
+struct OrderCache {
+    epoch: u64,
+    buf: Vec<u32>,
 }
 
 /// Scheduling / failure counters for reports.
@@ -188,6 +234,12 @@ pub struct JobTracker {
     /// Incomplete jobs in submission order (the queue policies reorder).
     fifo: Vec<JobId>,
     trackers: BTreeMap<NodeId, TrackerState>,
+    /// Exactly the trackers whose liveness is `Silent`, so the per-tick
+    /// death check walks suspects instead of the whole tracker map.
+    /// Ascending, like a full scan of `trackers` (audited).
+    silent: BTreeSet<NodeId>,
+    /// Trackers whose liveness is `Dead`, for O(1) `reported_live`.
+    dead_trackers: usize,
     /// Reduce attempts that returned `StartSort` already.
     sorting: HashSet<AttemptRef>,
     /// The slot-assignment policy (chosen by [`MrParams::sched`]).
@@ -196,6 +248,21 @@ pub struct JobTracker {
     counters: JtCounters,
     _spec_counter: Counter,
     tracer: Tracer,
+    /// Monotonic epoch, bumped on every scheduling-relevant mutation
+    /// (job submitted/retired, a task changed pending↔running). Guards
+    /// the cached policy orders and, transitively, the pending locality
+    /// index invariants (see DESIGN §15).
+    sched_epoch: u64,
+    /// Cached policy job orders (`[map, reduce]`), valid while their
+    /// epoch matches `sched_epoch` and the policy is
+    /// [`Scheduler::order_cacheable`].
+    order_cache: [OrderCache; 2],
+    /// Reused snapshot scratch for [`Scheduler::job_order`] rebuilds.
+    snap_buf: Vec<JobSnapshot>,
+    /// Aggregate backlog over incomplete jobs, maintained incrementally
+    /// at every pending/running transition so `backlog()` is O(1) per
+    /// master tick (audited against a full recount).
+    agg: Backlog,
 }
 
 impl TaskKind {
@@ -228,6 +295,8 @@ impl JobTracker {
             locality: Vec::new(),
             fifo: Vec::new(),
             trackers: BTreeMap::new(),
+            silent: BTreeSet::new(),
+            dead_trackers: 0,
             sorting: HashSet::new(),
             sched: hog_sched::build(cfg.sched),
             cfg,
@@ -235,7 +304,80 @@ impl JobTracker {
             counters: JtCounters::default(),
             _spec_counter: Counter::new(),
             tracer: Tracer::disabled(),
+            sched_epoch: 1,
+            order_cache: [OrderCache::default(), OrderCache::default()],
+            snap_buf: Vec::new(),
+            agg: Backlog::default(),
         }
+    }
+
+    /// Invalidate the cached job orders: something a policy snapshot
+    /// reflects (queue membership, pending/running counts) changed.
+    #[inline]
+    fn bump_epoch(&mut self) {
+        self.sched_epoch += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental index maintenance
+    //
+    // Every `pending_maps` / `pending_reduces` transition of an
+    // incomplete job flows through these helpers so three structures stay
+    // consistent transactionally: the per-job pending locality index, the
+    // aggregate backlog counters and the scheduling epoch. Jobs already
+    // terminal keep their raw sets (the ledger serializes them) but no
+    // longer contribute to the indices, which only cover the fifo.
+    // ------------------------------------------------------------------
+
+    fn pending_map_insert(&mut self, jid: JobId, m: u32) {
+        let job = &mut self.jobs[jid.0 as usize];
+        if !job.pending_maps.insert(m) {
+            return;
+        }
+        if job.status == JobStatus::Running {
+            self.locality[jid.0 as usize].insert_pending(m);
+            self.agg.pending_maps += 1;
+            self.sched_epoch += 1;
+        }
+    }
+
+    fn pending_map_remove(&mut self, jid: JobId, m: u32) {
+        let job = &mut self.jobs[jid.0 as usize];
+        if !job.pending_maps.remove(&m) {
+            return;
+        }
+        if job.status == JobStatus::Running {
+            self.locality[jid.0 as usize].remove_pending(m);
+            self.agg.pending_maps -= 1;
+            self.sched_epoch += 1;
+        }
+    }
+
+    fn pending_reduce_insert(&mut self, jid: JobId, r: u32) {
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.pending_reduces.insert(r) && job.status == JobStatus::Running {
+            self.agg.pending_reduces += 1;
+            self.sched_epoch += 1;
+        }
+    }
+
+    fn pending_reduce_remove(&mut self, jid: JobId, r: u32) {
+        let job = &mut self.jobs[jid.0 as usize];
+        if job.pending_reduces.remove(&r) && job.status == JobStatus::Running {
+            self.agg.pending_reduces -= 1;
+            self.sched_epoch += 1;
+        }
+    }
+
+    /// A `kind` attempt started or stopped: adjust the aggregate running
+    /// counters and invalidate the cached orders.
+    fn note_running_delta(&mut self, kind: TaskKind, delta: isize) {
+        let slot = match kind {
+            TaskKind::Map => &mut self.agg.running_maps,
+            TaskKind::Reduce => &mut self.agg.running_reduces,
+        };
+        *slot = slot.checked_add_signed(delta).expect("running underflow");
+        self.sched_epoch += 1;
     }
 
     /// Attach the shared trace handle (disabled by default).
@@ -277,10 +419,17 @@ impl JobTracker {
         map_slots: u8,
         reduce_slots: u8,
     ) {
-        self.trackers.insert(
+        let old = self.trackers.insert(
             node,
             TrackerState::new(map_slots, reduce_slots, self.cfg.scratch_capacity, now),
         );
+        match old.map(|t| t.liveness) {
+            Some(TrackerLiveness::Dead) => self.dead_trackers -= 1,
+            Some(TrackerLiveness::Silent) => {
+                self.silent.remove(&node);
+            }
+            _ => {}
+        }
         self.sched.on_tracker_registered(node, site, now);
     }
 
@@ -290,6 +439,7 @@ impl JobTracker {
             if t.liveness == TrackerLiveness::Live {
                 t.liveness = TrackerLiveness::Silent;
                 t.last_heartbeat = now;
+                self.silent.insert(node);
             }
         }
     }
@@ -330,16 +480,22 @@ impl JobTracker {
     }
 
     /// Trackers the JobTracker believes alive (Fig. 5 master view).
+    /// O(1): `dead_trackers` is maintained at every liveness transition.
     pub fn reported_live(&self) -> usize {
-        self.trackers
-            .values()
-            .filter(|t| t.liveness != TrackerLiveness::Dead)
-            .count()
+        self.trackers.len() - self.dead_trackers
     }
 
     /// Aggregate task backlog over incomplete jobs — the demand half of
-    /// the elastic controller's pool snapshot.
+    /// the elastic controller's pool snapshot. O(1): the counters are
+    /// maintained incrementally at every pending/running transition (and
+    /// audited against [`JobTracker::recount_backlog`]).
     pub fn backlog(&self) -> Backlog {
+        self.agg
+    }
+
+    /// Recount the backlog from the job table (the audit oracle for the
+    /// incremental counters `backlog` returns).
+    fn recount_backlog(&self) -> Backlog {
         let mut b = Backlog::default();
         for &jid in &self.fifo {
             let job = &self.jobs[jid.0 as usize];
@@ -405,14 +561,18 @@ impl JobTracker {
     /// Declare overdue silent trackers dead: reschedule their running
     /// attempts and re-run completed maps whose outputs died with them.
     pub fn check_dead(&mut self, now: SimTime) -> (Vec<NodeId>, Vec<JtNote>) {
+        // Walk only the Silent suspects (`self.silent` mirrors the
+        // liveness field exactly). Ascending like the full-map scan this
+        // replaces, so the declaration order is unchanged.
         let overdue: Vec<NodeId> = self
-            .trackers
+            .silent
             .iter()
-            .filter(|(_, t)| {
-                t.liveness == TrackerLiveness::Silent
-                    && now.saturating_since(t.last_heartbeat) >= self.cfg.tracker_dead_timeout
+            .copied()
+            .filter(|n| {
+                self.trackers.get(n).is_some_and(|t| {
+                    now.saturating_since(t.last_heartbeat) >= self.cfg.tracker_dead_timeout
+                })
             })
-            .map(|(&n, _)| n)
             .collect();
         let mut notes = Vec::new();
         for node in &overdue {
@@ -446,11 +606,15 @@ impl JobTracker {
             let Some(t) = self.trackers.get_mut(&node) else {
                 return notes; // unknown tracker: nothing to declare
             };
+            if t.liveness != TrackerLiveness::Dead {
+                self.dead_trackers += 1;
+            }
             t.liveness = TrackerLiveness::Dead;
             let running: Vec<AttemptRef> = std::mem::take(&mut t.running).into_iter().collect();
             t.scratch_used = 0;
             running
         };
+        self.silent.remove(&node);
         if !planned {
             self.sched.on_tracker_dead(node, now);
         }
@@ -504,10 +668,12 @@ impl JobTracker {
             }
             job.maps_done -= lost.len() as u32;
             for &m in &lost {
-                job.pending_maps.insert(m);
                 for plan in job.reduce_plans.values_mut() {
                     plan.map_lost(m);
                 }
+            }
+            for &m in &lost {
+                self.pending_map_insert(jid, m);
             }
         }
         notes
@@ -520,23 +686,30 @@ impl JobTracker {
     /// Submit a job; split locality hints come from the submission.
     pub fn submit_job(&mut self, now: SimTime, spec: JobSubmission, topo: &Topology) -> JobId {
         let id = JobId(self.jobs.len() as u32);
-        let mut by_node: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        let mut by_rack: HashMap<RackId, Vec<u32>> = HashMap::new();
-        let mut by_site: HashMap<SiteId, Vec<u32>> = HashMap::new();
-        for (i, locs) in spec.split_locations.iter().enumerate() {
-            for &n in locs {
-                by_node.entry(n).or_default().push(i as u32);
-                by_rack.entry(topo.rack_of(n)).or_default().push(i as u32);
-                by_site.entry(topo.site_of(n)).or_default().push(i as u32);
-            }
+        let maps = spec.maps() as u32;
+        let reduces = spec.reduces as usize;
+        let mut idx = LocalityIndex {
+            locs: Vec::with_capacity(spec.split_locations.len()),
+            ..LocalityIndex::default()
+        };
+        for locs in &spec.split_locations {
+            idx.locs.push(
+                locs.iter()
+                    .map(|&n| (n, topo.rack_of(n), topo.site_of(n)))
+                    .collect(),
+            );
         }
-        self.locality.push(LocalityIndex {
-            by_node,
-            by_rack,
-            by_site,
-        });
+        // Every map starts pending.
+        for m in 0..maps {
+            idx.insert_pending(m);
+        }
+        self.locality.push(idx);
         self.jobs.push(JobState::new(spec, now));
         self.fifo.push(id);
+        self.agg.active_jobs += 1;
+        self.agg.pending_maps += maps as usize;
+        self.agg.pending_reduces += reduces;
+        self.bump_epoch();
         self.sched.on_job_arrived(id.0, now);
         self.tracer.emit(|| {
             let spec = &self.jobs[id.0 as usize].spec;
@@ -577,36 +750,61 @@ impl JobTracker {
     /// free slots (FIFO across jobs; node-local → site-local → remote for
     /// maps; slowstart-gated reduces; speculation as a fallback).
     pub fn heartbeat(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Vec<Assignment> {
-        let Some(t) = self.trackers.get_mut(&node) else {
-            return Vec::new();
-        };
-        if t.liveness == TrackerLiveness::Dead {
-            return Vec::new();
-        }
-        t.last_heartbeat = now;
-        t.liveness = TrackerLiveness::Live;
         let mut out = Vec::new();
-        loop {
-            let free = self.trackers[&node].free_map_slots();
-            if free == 0 {
-                break;
-            }
-            match self.assign_map(now, node, topo) {
-                Some(a) => out.push(a),
-                None => break,
-            }
-        }
-        loop {
-            let free = self.trackers[&node].free_reduce_slots();
-            if free == 0 {
-                break;
-            }
-            match self.assign_reduce(now, node, topo) {
-                Some(a) => out.push(a),
-                None => break,
-            }
-        }
+        self.heartbeat_into(now, node, topo, &mut out);
         out
+    }
+
+    /// [`JobTracker::heartbeat`] with a caller-owned assignment buffer
+    /// (cleared first): the allocation-free path the batched master tick
+    /// drives for every node in a coalesced heartbeat run.
+    pub fn heartbeat_into(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        topo: &Topology,
+        out: &mut Vec<Assignment>,
+    ) {
+        out.clear();
+        // One tracker lookup serves the whole heartbeat: every successful
+        // assignment starts exactly one attempt of its kind on this node,
+        // so the free counts can be tracked locally instead of recounting
+        // the running set per slot.
+        let (mut free_maps, mut free_reduces) = {
+            let Some(t) = self.trackers.get_mut(&node) else {
+                return;
+            };
+            if t.liveness == TrackerLiveness::Dead {
+                return;
+            }
+            t.last_heartbeat = now;
+            if t.liveness == TrackerLiveness::Silent {
+                // Partition healed before the timeout: off the suspect
+                // list (the branch keeps the hot Live→Live path free of
+                // a set lookup).
+                self.silent.remove(&node);
+            }
+            t.liveness = TrackerLiveness::Live;
+            (t.free_map_slots(), t.free_reduce_slots())
+        };
+        while free_maps > 0 {
+            match self.assign_map(now, node, topo) {
+                Some(a) => {
+                    out.push(a);
+                    free_maps -= 1;
+                }
+                None => break,
+            }
+        }
+        while free_reduces > 0 {
+            match self.assign_reduce(now, node, topo) {
+                Some(a) => {
+                    out.push(a);
+                    free_reduces -= 1;
+                }
+                None => break,
+            }
+        }
     }
 
     fn start_attempt(&mut self, now: SimTime, task: TaskRef, node: NodeId) -> AttemptRef {
@@ -620,6 +818,7 @@ impl JobTracker {
         });
         job.note_attempt_started(task.kind, task.index, attempt, now);
         let att = AttemptRef { task, attempt };
+        self.note_running_delta(task.kind, 1);
         self.trackers.get_mut(&node).unwrap().running.insert(att);
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "attempt_start")
@@ -632,30 +831,43 @@ impl JobTracker {
         att
     }
 
-    /// Snapshot the incomplete-job queue and ask the policy for its
-    /// assignment order for one `kind` slot.
-    fn ordered_jobs(&mut self, kind: SlotKind, now: SimTime) -> Vec<u32> {
-        let snaps: Vec<JobSnapshot> = self
-            .fifo
-            .iter()
-            .enumerate()
-            .map(|(queue_pos, &jid)| {
+    /// The policy's assignment order for one `kind` slot, served from the
+    /// epoch-guarded cache when the policy is [`Scheduler::order_cacheable`]
+    /// and nothing scheduling-relevant changed since the last rebuild.
+    /// The cache is *taken out* (so the caller can iterate it while
+    /// mutating `self`) and must be handed back via [`JobTracker::put_order`];
+    /// a rebuild reuses both the snapshot scratch and the order buffer, so
+    /// the steady state allocates nothing.
+    fn take_order(&mut self, kind: SlotKind, now: SimTime) -> OrderCache {
+        let slot = kind as usize;
+        let mut cache = std::mem::take(&mut self.order_cache[slot]);
+        if !self.sched.order_cacheable() || cache.epoch != self.sched_epoch {
+            self.snap_buf.clear();
+            for (queue_pos, &jid) in self.fifo.iter().enumerate() {
                 let job = &self.jobs[jid.0 as usize];
                 let (pending, running) = match kind {
                     SlotKind::Map => (job.pending_maps.len() as u32, job.running_maps),
                     SlotKind::Reduce => (job.pending_reduces.len() as u32, job.running_reduces),
                 };
-                JobSnapshot {
+                self.snap_buf.push(JobSnapshot {
                     id: jid.0,
                     queue_pos,
                     pending,
                     running,
-                }
-            })
-            .collect();
-        let mut out = Vec::with_capacity(snaps.len());
-        self.sched.job_order(&snaps, kind, now, &mut out);
-        out
+                });
+            }
+            cache.buf.clear();
+            self.sched.job_order(&self.snap_buf, kind, now, &mut cache.buf);
+            cache.epoch = self.sched_epoch;
+        }
+        cache
+    }
+
+    /// Return an order taken with [`JobTracker::take_order`]. If the epoch
+    /// moved while the caller held it (an assignment happened), the stored
+    /// epoch no longer matches and the next take rebuilds.
+    fn put_order(&mut self, kind: SlotKind, cache: OrderCache) {
+        self.order_cache[kind as usize] = cache;
     }
 
     fn assign_map(&mut self, now: SimTime, node: NodeId, topo: &Topology) -> Option<Assignment> {
@@ -663,9 +875,30 @@ impl JobTracker {
         if !self.sched.admit(node, site, SlotKind::Map, now) {
             return None;
         }
+        let order = self.take_order(SlotKind::Map, now);
+        let picked = self.try_assign_map(now, node, site, topo, &order.buf);
+        self.put_order(SlotKind::Map, order);
+        if picked.is_some() {
+            return picked;
+        }
+        // No pending map anywhere: consider speculation.
+        if self.cfg.speculative_enabled {
+            return self.speculate(now, node, TaskKind::Map, topo);
+        }
+        None
+    }
+
+    fn try_assign_map(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        site: SiteId,
+        topo: &Topology,
+        order: &[u32],
+    ) -> Option<Assignment> {
         let rack = topo.rack_of(node);
         let rack_aware = self.sched.rack_aware();
-        for jid in self.ordered_jobs(SlotKind::Map, now) {
+        for &jid in order {
             let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running
@@ -676,30 +909,31 @@ impl JobTracker {
             if job.pending_maps.is_empty() {
                 continue;
             }
-            // Only tasks past their retry backoff are assignable.
-            let ok = |m: &u32| {
-                job.pending_maps.contains(m) && job.retry_eligible(TaskKind::Map, *m, now)
-            };
+            // The index sets hold only pending maps, so membership is
+            // free; with no backoffs recorded every candidate is
+            // eligible without a per-task lookup.
+            let no_backoff = job.retry_after.is_empty();
+            let ok = |m: &&u32| no_backoff || job.retry_eligible(TaskKind::Map, **m, now);
             // Walk the locality ladder: node → (rack) → site → remote.
             // The rack rung only exists for rack-aware policies; FIFO
             // keeps the paper's exact three-level ladder.
             let idx = &self.locality[jid.0 as usize];
             let mut pick: Option<(u32, Locality)> = None;
-            if let Some(cands) = idx.by_node.get(&node) {
-                if let Some(&m) = cands.iter().find(|m| ok(m)) {
+            if let Some(cands) = idx.pend_node.get(&node) {
+                if let Some(&m) = cands.iter().find(ok) {
                     pick = Some((m, Locality::NodeLocal));
                 }
             }
             if pick.is_none() && rack_aware {
-                if let Some(cands) = idx.by_rack.get(&rack) {
-                    if let Some(&m) = cands.iter().find(|m| ok(m)) {
+                if let Some(cands) = idx.pend_rack.get(&rack) {
+                    if let Some(&m) = cands.iter().find(ok) {
                         pick = Some((m, Locality::RackLocal));
                     }
                 }
             }
             if pick.is_none() {
-                if let Some(cands) = idx.by_site.get(&site) {
-                    if let Some(&m) = cands.iter().find(|m| ok(m)) {
+                if let Some(cands) = idx.pend_site.get(&site) {
+                    if let Some(&m) = cands.iter().find(ok) {
                         pick = Some((m, Locality::SiteLocal));
                     }
                 }
@@ -709,7 +943,7 @@ impl JobTracker {
                 pick = job
                     .pending_maps
                     .iter()
-                    .find(|m| job.retry_eligible(TaskKind::Map, **m, now))
+                    .find(ok)
                     .map(|&m| (m, Locality::Remote));
             }
             let Some((m, locality)) = pick else {
@@ -727,11 +961,11 @@ impl JobTracker {
                 Locality::SiteLocal => self.counters.site_local += 1,
                 Locality::Remote => self.counters.remote += 1,
             }
-            let job = &mut self.jobs[jid.0 as usize];
-            job.pending_maps.remove(&m);
-            let (block, input_bytes) = job.spec.input_blocks[m as usize];
-            let cpu_secs = job.spec.map_cpu_secs;
-            let output_bytes = job.spec.map_output_bytes;
+            self.pending_map_remove(jid, m);
+            let spec = &self.jobs[jid.0 as usize].spec;
+            let (block, input_bytes) = spec.input_blocks[m as usize];
+            let cpu_secs = spec.map_cpu_secs;
+            let output_bytes = spec.map_output_bytes;
             let task = TaskRef {
                 job: jid,
                 kind: TaskKind::Map,
@@ -749,10 +983,6 @@ impl JobTracker {
                 locality,
             });
         }
-        // No pending map anywhere: consider speculation.
-        if self.cfg.speculative_enabled {
-            return self.speculate(now, node, TaskKind::Map, topo);
-        }
         None
     }
 
@@ -761,7 +991,26 @@ impl JobTracker {
         if !self.sched.admit(node, site, SlotKind::Reduce, now) {
             return None;
         }
-        for jid in self.ordered_jobs(SlotKind::Reduce, now) {
+        let order = self.take_order(SlotKind::Reduce, now);
+        let picked = self.try_assign_reduce(now, node, topo, &order.buf);
+        self.put_order(SlotKind::Reduce, order);
+        if picked.is_some() {
+            return picked;
+        }
+        if self.cfg.speculative_enabled {
+            return self.speculate(now, node, TaskKind::Reduce, topo);
+        }
+        None
+    }
+
+    fn try_assign_reduce(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        topo: &Topology,
+        order: &[u32],
+    ) -> Option<Assignment> {
+        for &jid in order {
             let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running
@@ -771,15 +1020,15 @@ impl JobTracker {
             {
                 continue;
             }
+            let no_backoff = job.retry_after.is_empty();
             let Some(&r) = job
                 .pending_reduces
                 .iter()
-                .find(|r| job.retry_eligible(TaskKind::Reduce, **r, now))
+                .find(|r| no_backoff || job.retry_eligible(TaskKind::Reduce, **r, now))
             else {
                 continue; // all pending reduces cooling down
             };
-            let job = &mut self.jobs[jid.0 as usize];
-            job.pending_reduces.remove(&r);
+            self.pending_reduce_remove(jid, r);
             let task = TaskRef {
                 job: jid,
                 kind: TaskKind::Reduce,
@@ -790,9 +1039,6 @@ impl JobTracker {
             self.sched
                 .on_assigned(jid.0, SlotKind::Reduce, node, None, now);
             return Some(Assignment::Reduce { attempt });
-        }
-        if self.cfg.speculative_enabled {
-            return self.speculate(now, node, TaskKind::Reduce, topo);
         }
         None
     }
@@ -832,10 +1078,12 @@ impl JobTracker {
                 let task = &mut job.maps[m as usize];
                 task.done = false;
                 task.completed_on = None;
-                job.pending_maps.insert(m);
                 for p in job.reduce_plans.values_mut() {
                     p.map_lost(m);
                 }
+            }
+            for &(m, _) in &lost {
+                self.pending_map_insert(jid, m);
             }
         }
         self.jobs[jid.0 as usize].reduce_plans.insert(att, plan);
@@ -862,9 +1110,6 @@ impl JobTracker {
         kind: TaskKind,
         topo: &Topology,
     ) -> Option<Assignment> {
-        // Rate-limit unsuccessful scans so repeated idle heartbeats within
-        // the same instant's window stay cheap.
-        const SCAN_COOLDOWN: SimDuration = SimDuration::from_secs(5);
         if !self.sched.allow_speculation(node, topo.site_of(node), now) {
             return None;
         }
@@ -872,7 +1117,24 @@ impl JobTracker {
             TaskKind::Map => SlotKind::Map,
             TaskKind::Reduce => SlotKind::Reduce,
         };
-        for jid in self.ordered_jobs(slot_kind, now) {
+        let order = self.take_order(slot_kind, now);
+        let picked = self.try_speculate(now, node, kind, topo, &order.buf);
+        self.put_order(slot_kind, order);
+        picked
+    }
+
+    fn try_speculate(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        topo: &Topology,
+        order: &[u32],
+    ) -> Option<Assignment> {
+        // Rate-limit unsuccessful scans so repeated idle heartbeats within
+        // the same instant's window stay cheap.
+        const SCAN_COOLDOWN: SimDuration = SimDuration::from_secs(5);
+        for &jid in order {
             let jid = JobId(jid);
             let job = &self.jobs[jid.0 as usize];
             if job.status != JobStatus::Running
@@ -1038,6 +1300,7 @@ impl JobTracker {
             job.map_duration_stats.1 += 1;
             (node, dur)
         };
+        self.note_running_delta(TaskKind::Map, -1);
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "task_done")
                 .with("job", jid.0)
@@ -1116,6 +1379,9 @@ impl JobTracker {
                 node,
             });
         }
+        if !notes.is_empty() {
+            self.note_running_delta(att.task.kind, -(notes.len() as isize));
+        }
         notes
     }
 
@@ -1187,6 +1453,7 @@ impl JobTracker {
         let exhausted = blame && ts.failures >= max_attempts;
         let still_running = ts.running_attempts() > 0;
         job.note_attempt_stopped(att.task.kind, att.task.index, att.attempt, started);
+        self.note_running_delta(att.task.kind, -1);
         if let Some(t) = self.trackers.get_mut(&node) {
             t.running.remove(&att);
         }
@@ -1198,20 +1465,16 @@ impl JobTracker {
             return notes;
         }
         if !still_running && !self.jobs[jid.0 as usize].task(att.task).done {
-            let backoff = self.cfg.retry_backoff;
-            let job = &mut self.jobs[jid.0 as usize];
             if blame {
                 // Retry backoff: don't immediately hand the task back out.
-                job.retry_after
+                let backoff = self.cfg.retry_backoff;
+                self.jobs[jid.0 as usize]
+                    .retry_after
                     .insert((att.task.kind, att.task.index), now + backoff);
             }
             match att.task.kind {
-                TaskKind::Map => {
-                    job.pending_maps.insert(att.task.index);
-                }
-                TaskKind::Reduce => {
-                    job.pending_reduces.insert(att.task.index);
-                }
+                TaskKind::Map => self.pending_map_insert(jid, att.task.index),
+                TaskKind::Reduce => self.pending_reduce_insert(jid, att.task.index),
             }
         }
         notes
@@ -1257,8 +1520,12 @@ impl JobTracker {
         // Every running attempt was just killed: the running index and
         // counts empty wholesale.
         job.running_by_start.clear();
+        let (rm, rr) = (job.running_maps, job.running_reduces);
         job.running_maps = 0;
         job.running_reduces = 0;
+        self.agg.running_maps -= rm as usize;
+        self.agg.running_reduces -= rr as usize;
+        self.bump_epoch();
         for (att, node) in to_kill {
             if let Some(t) = self.trackers.get_mut(&node) {
                 t.running.remove(&att);
@@ -1280,7 +1547,31 @@ impl JobTracker {
                 t.release_scratch(bytes);
             }
         }
+        let was_queued = self.fifo.contains(&jid);
         self.fifo.retain(|&j| j != jid);
+        if was_queued {
+            // Whatever the job still contributed to the aggregate backlog
+            // (failed jobs retire with tasks still pending) leaves with it.
+            let (pm, pr, rm, rr) = {
+                let job = &self.jobs[jid.0 as usize];
+                (
+                    job.pending_maps.len(),
+                    job.pending_reduces.len(),
+                    job.running_maps as usize,
+                    job.running_reduces as usize,
+                )
+            };
+            self.agg.active_jobs -= 1;
+            self.agg.pending_maps -= pm;
+            self.agg.pending_reduces -= pr;
+            self.agg.running_maps -= rm;
+            self.agg.running_reduces -= rr;
+            let idx = &mut self.locality[jid.0 as usize];
+            idx.pend_node.clear();
+            idx.pend_rack.clear();
+            idx.pend_site.clear();
+            self.bump_epoch();
+        }
         self.sched.on_job_removed(jid.0, now);
     }
 
@@ -1376,11 +1667,13 @@ impl JobTracker {
             task.done = false;
             task.completed_on = None;
             job.maps_done -= 1;
-            job.pending_maps.insert(*m);
             job.map_fetch_failures.remove(m);
             for plan in job.reduce_plans.values_mut() {
                 plan.map_lost(*m);
             }
+        }
+        for &m in &reexecute {
+            self.pending_map_insert(jid, m);
         }
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "fetch_fail")
@@ -1393,7 +1686,7 @@ impl JobTracker {
         });
         // Re-announce maps whose outputs still exist (and were not just
         // declared lost).
-        if let Some(plan) = job.reduce_plans.get_mut(&att) {
+        if let Some(plan) = self.jobs[jid.0 as usize].reduce_plans.get_mut(&att) {
             for (m, n) in sources {
                 if tracker_alive.contains(&n) && !reexecute.contains(&m) {
                     plan.map_available(m, n, topo.site_of(n), part);
@@ -1424,6 +1717,7 @@ impl JobTracker {
             job.reduce_duration_stats.1 += 1;
             (node, dur)
         };
+        self.note_running_delta(TaskKind::Reduce, -1);
         self.tracer.emit(|| {
             TraceEvent::new(Layer::MapReduce, "task_done")
                 .with("job", jid.0)
@@ -1478,42 +1772,49 @@ impl JobTracker {
     pub fn recover_kill_all(&mut self) -> usize {
         let mut killed = 0usize;
         for jid in self.fifo.clone() {
-            let job = &mut self.jobs[jid.0 as usize];
-            if job.status != JobStatus::Running {
-                continue;
-            }
-            let mut requeue: Vec<(TaskKind, u32)> = Vec::new();
-            for (kind, tasks) in [
-                (TaskKind::Map, &mut job.maps),
-                (TaskKind::Reduce, &mut job.reduces),
-            ] {
-                for (i, ts) in tasks.iter_mut().enumerate() {
-                    let mut had_running = false;
-                    for a in ts.attempts.iter_mut() {
-                        if a.phase == AttemptPhase::Running {
-                            a.phase = AttemptPhase::Killed;
-                            had_running = true;
-                            killed += 1;
+            let (requeue, rm, rr) = {
+                let job = &mut self.jobs[jid.0 as usize];
+                if job.status != JobStatus::Running {
+                    continue;
+                }
+                let mut requeue: Vec<(TaskKind, u32)> = Vec::new();
+                for (kind, tasks) in [
+                    (TaskKind::Map, &mut job.maps),
+                    (TaskKind::Reduce, &mut job.reduces),
+                ] {
+                    for (i, ts) in tasks.iter_mut().enumerate() {
+                        let mut had_running = false;
+                        for a in ts.attempts.iter_mut() {
+                            if a.phase == AttemptPhase::Running {
+                                a.phase = AttemptPhase::Killed;
+                                had_running = true;
+                                killed += 1;
+                            }
+                        }
+                        if had_running && !ts.done {
+                            requeue.push((kind, i as u32));
                         }
                     }
-                    if had_running && !ts.done {
-                        requeue.push((kind, i as u32));
-                    }
                 }
-            }
+                job.reduce_plans.clear();
+                job.running_by_start.clear();
+                let (rm, rr) = (job.running_maps, job.running_reduces);
+                job.running_maps = 0;
+                job.running_reduces = 0;
+                // Retry bookkeeping died with the old master: the new one
+                // hands everything back out as soon as slots heartbeat.
+                job.retry_after.clear();
+                (requeue, rm, rr)
+            };
+            self.agg.running_maps -= rm as usize;
+            self.agg.running_reduces -= rr as usize;
+            self.bump_epoch();
             for (kind, i) in requeue {
                 match kind {
-                    TaskKind::Map => job.pending_maps.insert(i),
-                    TaskKind::Reduce => job.pending_reduces.insert(i),
-                };
+                    TaskKind::Map => self.pending_map_insert(jid, i),
+                    TaskKind::Reduce => self.pending_reduce_insert(jid, i),
+                }
             }
-            job.reduce_plans.clear();
-            job.running_by_start.clear();
-            job.running_maps = 0;
-            job.running_reduces = 0;
-            // Retry bookkeeping died with the old master: the new one
-            // hands everything back out as soon as slots heartbeat.
-            job.retry_after.clear();
         }
         self.sorting.clear();
         for t in self.trackers.values_mut() {
@@ -1846,6 +2147,99 @@ impl hog_sim_core::Auditable for JobTracker {
                     format!(
                         "job {} running index out of sync: indexed {maps}m/{reduces}r, counted {}m/{}r, tables {actual_maps}m/{actual_reduces}r",
                         jid.0, job.running_maps, job.running_reduces
+                    ),
+                ));
+            }
+        }
+        // The silent suspect set and dead counter must mirror the
+        // per-tracker liveness fields exactly.
+        let silent_recount: BTreeSet<NodeId> = self
+            .trackers
+            .iter()
+            .filter(|(_, t)| t.liveness == TrackerLiveness::Silent)
+            .map(|(&n, _)| n)
+            .collect();
+        if silent_recount != self.silent {
+            out.push(Violation::new(
+                "mapreduce",
+                format!(
+                    "silent-tracker set drifted: cached {}, recounted {}",
+                    self.silent.len(),
+                    silent_recount.len()
+                ),
+            ));
+        }
+        let dead_recount = self
+            .trackers
+            .values()
+            .filter(|t| t.liveness == TrackerLiveness::Dead)
+            .count();
+        if dead_recount != self.dead_trackers {
+            out.push(Violation::new(
+                "mapreduce",
+                format!(
+                    "dead-tracker count drifted: cached {}, recounted {dead_recount}",
+                    self.dead_trackers
+                ),
+            ));
+        }
+        // The O(1) aggregate backlog must equal a full recount.
+        let recount = self.recount_backlog();
+        if recount != self.agg {
+            out.push(Violation::new(
+                "mapreduce",
+                format!(
+                    "aggregate backlog drifted: cached {:?}, recounted {recount:?}",
+                    self.agg
+                ),
+            ));
+        }
+        // Each queued job's pending-locality index must match a rebuild
+        // from its pending set: same members per node/rack/site, nothing
+        // stale left behind.
+        for &jid in &self.fifo {
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let idx = &self.locality[jid.0 as usize];
+            let mut node: HashMap<NodeId, BTreeSet<u32>> = HashMap::new();
+            let mut rack: HashMap<RackId, BTreeSet<u32>> = HashMap::new();
+            let mut site: HashMap<SiteId, BTreeSet<u32>> = HashMap::new();
+            for &m in &job.pending_maps {
+                for &(n, r, s) in &idx.locs[m as usize] {
+                    node.entry(n).or_default().insert(m);
+                    rack.entry(r).or_default().insert(m);
+                    site.entry(s).or_default().insert(m);
+                }
+            }
+            let nonempty = |m: &HashMap<NodeId, BTreeSet<u32>>| {
+                m.iter()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(k, s)| (*k, s.clone()))
+                    .collect::<HashMap<_, _>>()
+            };
+            let stale = nonempty(&idx.pend_node) != node
+                || idx
+                    .pend_rack
+                    .iter()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(k, s)| (*k, s.clone()))
+                    .collect::<HashMap<_, _>>()
+                    != rack
+                || idx
+                    .pend_site
+                    .iter()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(k, s)| (*k, s.clone()))
+                    .collect::<HashMap<_, _>>()
+                    != site;
+            if stale {
+                out.push(Violation::new(
+                    "mapreduce",
+                    format!(
+                        "job {} pending-locality index out of sync with pending_maps",
+                        jid.0
                     ),
                 ));
             }

@@ -124,6 +124,12 @@ impl Scheduler for FailureAwareSched {
         out.extend(jobs.iter().map(|j| j.id));
     }
 
+    // Submission-order passthrough; failure scores gate placement via
+    // `admit`, not the job order.
+    fn order_cacheable(&self) -> bool {
+        true
+    }
+
     fn admit(&mut self, node: NodeId, site: SiteId, kind: SlotKind, now: SimTime) -> bool {
         let threshold = match kind {
             SlotKind::Map => self.map_threshold,

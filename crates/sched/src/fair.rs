@@ -99,6 +99,11 @@ impl Scheduler for FairSched {
         out.extend(order.into_iter().map(|(_, _, id)| id));
     }
 
+    // Sorts on snapshot fields only; `waiting_since` never feeds the order.
+    fn order_cacheable(&self) -> bool {
+        true
+    }
+
     fn locality_gate(&mut self, job: u32, level: Locality, now: SimTime) -> Gate {
         if level == Locality::NodeLocal {
             return Gate::Accept;

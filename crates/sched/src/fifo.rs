@@ -35,6 +35,10 @@ impl Scheduler for FifoSched {
         out.extend(jobs.iter().map(|j| j.id));
     }
 
+    fn order_cacheable(&self) -> bool {
+        true
+    }
+
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(*self)
     }

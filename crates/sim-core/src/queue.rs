@@ -134,6 +134,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Borrow the earliest pending event without removing it. Lets the
+    /// driver loop decide whether the head can join a same-instant batch
+    /// (see `Model::batchable`) before committing to the pop.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.at, &e.event))
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
