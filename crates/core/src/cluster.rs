@@ -144,6 +144,9 @@ struct ObsMetrics {
     sched_rack_local: MetricId,
     sched_site_local: MetricId,
     sched_remote: MetricId,
+    rescue_copies: MetricId,
+    rescue_hits: MetricId,
+    rescue_misses: MetricId,
     flows_active: MetricId,
     flows_done: MetricId,
     pool_target: MetricId,
@@ -178,6 +181,9 @@ impl ObsMetrics {
             sched_rack_local: reg.register(Layer::MapReduce, "sched_rack_local"),
             sched_site_local: reg.register(Layer::MapReduce, "sched_site_local"),
             sched_remote: reg.register(Layer::MapReduce, "sched_remote"),
+            rescue_copies: reg.register(Layer::MapReduce, "rescue_copies"),
+            rescue_hits: reg.register(Layer::MapReduce, "rescue_hits"),
+            rescue_misses: reg.register(Layer::MapReduce, "rescue_misses"),
             flows_active: reg.register(Layer::Net, "flows_active"),
             flows_done: reg.register(Layer::Net, "flows_done"),
             pool_target: reg.register(Layer::Core, "pool_target"),
@@ -270,6 +276,9 @@ pub struct Cluster {
     master_stalled_until: Option<SimTime>,
     /// Decorrelated RNG stream for chaos victim selection.
     chaos_rng: SimRng,
+    /// Decorrelated RNG stream for the straggler mix, present exactly
+    /// when `cfg.straggler` is set so unconfigured runs draw nothing.
+    straggler_rng: Option<SimRng>,
     /// Invariant auditor, when `cfg.chaos.audit` is set.
     auditor: Option<Auditor>,
     /// Livelock watchdog, when `cfg.chaos.watchdog` is set.
@@ -358,6 +367,8 @@ impl Cluster {
         let n_jobs = schedule.len();
         let cfg2 = cfg.adaptive_replication;
         let chaos_seed = cfg.seed ^ 0x686f_675f_6368_616f; // b"hog_chao"
+        let straggler_seed = cfg.seed ^ 0x686f_675f_7374_7261; // b"hog_stra"
+        let straggler_on = cfg.straggler.is_some();
         let chaos_audit = cfg.chaos.audit;
         let chaos_watchdog = cfg.chaos.watchdog;
         let failover_cfg = cfg.failover;
@@ -403,6 +414,7 @@ impl Cluster {
             // Seeded independently of the master stream so enabling chaos
             // never perturbs the organic randomness of a run.
             chaos_rng: SimRng::seed_from_u64(chaos_seed),
+            straggler_rng: straggler_on.then(|| SimRng::seed_from_u64(straggler_seed)),
             auditor: chaos_audit.then(Auditor::new),
             watchdog: chaos_watchdog.map(Watchdog::new),
             flows_done: 0,
@@ -893,6 +905,19 @@ impl Cluster {
         self.straggle.get(&node).copied().unwrap_or((1.0, 1.0))
     }
 
+    /// Workload straggler-mix CPU multiplier for one task attempt: 1.0
+    /// unless `cfg.straggler` is set, in which case the dedicated
+    /// straggler stream decides whether (and how badly) this attempt
+    /// straggles. Distinct from the chaos [`Cluster::slow`] multipliers,
+    /// which model injected per-node faults rather than organic task
+    /// variance.
+    fn straggler_factor(&mut self) -> f64 {
+        match (&self.cfg.straggler, &mut self.straggler_rng) {
+            (Some(mix), Some(rng)) => mix.factor(rng),
+            _ => 1.0,
+        }
+    }
+
     /// Fan the block from its first holder to the remaining replicas.
     /// Targets that died (or zombified) since allocation are skipped —
     /// the replication monitor repairs the deficit later.
@@ -1089,8 +1114,9 @@ impl Cluster {
                 }
                 if ok {
                     let (cpu, _) = self.slow(meta.node);
+                    let strag = self.straggler_factor();
                     sched.after(
-                        SimDuration::from_secs_f64(meta.cpu_secs * cpu),
+                        SimDuration::from_secs_f64(meta.cpu_secs * cpu * strag),
                         Event::MapComputeDone { attempt },
                     );
                 } else {
@@ -1460,8 +1486,9 @@ impl Cluster {
             } => {
                 self.reduce_out.insert(attempt, (output_bytes, replication));
                 let (cpu, _) = self.slow(node);
+                let strag = self.straggler_factor();
                 sched.after(
-                    SimDuration::from_secs_f64(cpu_secs * cpu),
+                    SimDuration::from_secs_f64(cpu_secs * cpu * strag),
                     Event::ReduceSortDone { attempt },
                 );
             }
@@ -1984,6 +2011,9 @@ impl Cluster {
         m.reg.set(m.sched_rack_local, jtc.rack_local as f64);
         m.reg.set(m.sched_site_local, jtc.site_local as f64);
         m.reg.set(m.sched_remote, jtc.remote as f64);
+        m.reg.set(m.rescue_copies, jtc.rescue_copies as f64);
+        m.reg.set(m.rescue_hits, jtc.rescue_hits as f64);
+        m.reg.set(m.rescue_misses, jtc.rescue_misses as f64);
         m.reg.set(m.flows_active, flows_active as f64);
         m.reg.set(m.flows_done, sig.flows_finished as f64);
         m.reg.snapshot(now);
@@ -2537,8 +2567,9 @@ impl Model for Cluster {
                     return;
                 }
                 let (cpu, _) = self.slow(meta.node);
+                let strag = self.straggler_factor();
                 sched.after(
-                    SimDuration::from_secs_f64(meta.cpu_secs * cpu),
+                    SimDuration::from_secs_f64(meta.cpu_secs * cpu * strag),
                     Event::MapComputeDone { attempt },
                 );
             }

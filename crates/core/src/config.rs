@@ -1,14 +1,14 @@
 //! Cluster configuration and the paper's two reference systems.
 
 use hog_chaos::FaultPlan;
-use hog_grid::{ElasticConfig, GridParams, SiteConfig};
+use hog_grid::{ChurnModel, ElasticConfig, GridParams, SiteConfig};
 use hog_hdfs::HdfsConfig;
 use hog_mapreduce::{MrParams, SchedPolicy};
 use hog_net::NetParams;
 use hog_obs::{ObsOptions, TraceMode};
 use hog_sim_core::units::GIB;
 use hog_sim_core::SimDuration;
-use hog_workload::LoadgenParams;
+use hog_workload::{LoadgenParams, StragglerMix};
 
 /// Which block placement policy the namenode uses.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -233,6 +233,11 @@ pub struct ClusterConfig {
     /// Federation pool membership (hog-fed). `None` (the default) is the
     /// ordinary standalone cluster.
     pub pool: Option<PoolRole>,
+    /// Heavy-tailed straggler mix layered onto task CPU times
+    /// (hog-workload). Draws come from a dedicated RNG stream, so `None`
+    /// (the default) keeps every run byte-identical to pre-straggler
+    /// builds.
+    pub straggler: Option<StragglerMix>,
 }
 
 impl ClusterConfig {
@@ -285,6 +290,7 @@ impl ClusterConfig {
             elastic: None,
             failover: None,
             pool: None,
+            straggler: None,
         }
     }
 
@@ -324,6 +330,7 @@ impl ClusterConfig {
             elastic: None,
             failover: None,
             pool: None,
+            straggler: None,
         }
     }
 
@@ -335,6 +342,51 @@ impl ClusterConfig {
                 *s = s.clone().with_mean_lifetime(mean);
             }
         }
+        self
+    }
+
+    /// Replace every site's preemption generator with the given churn
+    /// model (hog-grid). The default [`ChurnModel::Exponential`] is the
+    /// legacy memoryless process; [`ChurnModel::Calibrated`] is the
+    /// heavy-tailed diurnal model.
+    pub fn with_churn_model(mut self, churn: ChurnModel) -> Self {
+        if let ResourceConfig::Grid { sites, .. } = &mut self.resource {
+            for s in sites.iter_mut() {
+                *s = s.clone().with_churn(churn);
+            }
+        }
+        self
+    }
+
+    /// Switch every site to its OSG-calibrated churn profile: per-site
+    /// heavy-tailed preemption inter-arrivals with a diurnal rate curve
+    /// ([`hog_grid::config::SiteConfig::calibrated`]).
+    pub fn with_calibrated_churn(mut self) -> Self {
+        if let ResourceConfig::Grid { sites, .. } = &mut self.resource {
+            for s in sites.iter_mut() {
+                *s = s.clone().calibrated();
+            }
+        }
+        self
+    }
+
+    /// Like [`Self::with_calibrated_churn`], but start the simulated day
+    /// at `start_hour` (0–24) instead of midnight, so a short workload
+    /// window can be replayed inside the campuses' diurnal preemption
+    /// wave ([`hog_grid::config::SiteConfig::calibrated_at`]).
+    pub fn with_calibrated_churn_at(mut self, start_hour: f64) -> Self {
+        if let ResourceConfig::Grid { sites, .. } = &mut self.resource {
+            for s in sites.iter_mut() {
+                *s = s.clone().calibrated_at(start_hour);
+            }
+        }
+        self
+    }
+
+    /// Layer the heavy-tailed straggler mix onto every task's CPU time
+    /// (hog-workload).
+    pub fn with_stragglers(mut self, mix: StragglerMix) -> Self {
+        self.straggler = Some(mix);
         self
     }
 
@@ -522,6 +574,42 @@ mod tests {
         assert!(c.zombie.enabled);
         assert!(c.hdfs.disk_check_interval.is_some());
         assert_eq!(c.name, "x");
+    }
+
+    #[test]
+    fn churn_and_straggler_default_off_and_builders_arm_them() {
+        let plain = ClusterConfig::hog(100, 1);
+        assert!(plain.straggler.is_none(), "stragglers must default off");
+        match &plain.resource {
+            ResourceConfig::Grid { sites, .. } => {
+                assert!(sites
+                    .iter()
+                    .all(|s| s.churn == ChurnModel::Exponential));
+            }
+            _ => panic!("HOG runs on the grid"),
+        }
+        let armed = plain
+            .with_calibrated_churn()
+            .with_stragglers(StragglerMix::osg_default());
+        assert!(armed.straggler.is_some());
+        match &armed.resource {
+            ResourceConfig::Grid { sites, .. } => {
+                assert!(sites
+                    .iter()
+                    .all(|s| matches!(s.churn, ChurnModel::Calibrated(_))));
+            }
+            _ => unreachable!(),
+        }
+        // with_churn_model flips everything back.
+        let back = armed.with_churn_model(ChurnModel::Exponential);
+        match &back.resource {
+            ResourceConfig::Grid { sites, .. } => {
+                assert!(sites
+                    .iter()
+                    .all(|s| s.churn == ChurnModel::Exponential));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Grid and site configuration.
 
+use crate::churn::{osg_profile, ChurnModel};
 use hog_sim_core::dist::{Exponential, UniformDuration};
 use hog_sim_core::units::MIB;
 use hog_sim_core::SimDuration;
@@ -19,8 +20,15 @@ pub struct SiteConfig {
     pub public_ip: bool,
     /// Batch-queue wait before a matched glidein starts executing.
     pub acquisition_delay: UniformDuration,
-    /// Distribution of a worker's lifetime until the site preempts it.
+    /// Distribution of a worker's lifetime until the site preempts it
+    /// (used by the default [`ChurnModel::Exponential`]).
     pub node_lifetime: Exponential,
+    /// Which preemption process drives the site. The default
+    /// ([`ChurnModel::Exponential`]) draws from `node_lifetime` exactly
+    /// as every pre-churn build did — bit-identical fingerprints;
+    /// [`ChurnModel::Calibrated`] switches to the OSG-fit heavy-tailed
+    /// diurnal generator (see [`crate::churn`]).
+    pub churn: ChurnModel,
     /// Mean time between whole-site outages. `None` disables outages.
     pub outage_mtbf: Option<Exponential>,
     /// How long an outage lasts.
@@ -44,6 +52,7 @@ impl SiteConfig {
                 SimDuration::from_secs(120),
             ),
             node_lifetime: Exponential::from_mean(SimDuration::from_secs(12 * 3600)),
+            churn: ChurnModel::Exponential,
             outage_mtbf: None,
             outage_duration: UniformDuration::point(SimDuration::from_mins(10)),
             package_download_rate: 20.0 * MIB as f64,
@@ -77,6 +86,28 @@ impl SiteConfig {
     pub fn with_mean_lifetime(mut self, mean: SimDuration) -> Self {
         self.node_lifetime = Exponential::from_mean(mean);
         self
+    }
+
+    /// Select the preemption process for this site.
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Switch this site to its OSG-calibrated churn profile (matched by
+    /// resource name via [`osg_profile`]).
+    pub fn calibrated(self) -> Self {
+        let profile = osg_profile(&self.name);
+        self.with_churn(ChurnModel::Calibrated(profile))
+    }
+
+    /// [`Self::calibrated`] with the simulation clock started at
+    /// `start_hour` of the campus day (see
+    /// [`crate::churn::CalibratedChurn::with_clock`]), so short runs can
+    /// land their workload window inside the preemption wave.
+    pub fn calibrated_at(self, start_hour: f64) -> Self {
+        let profile = osg_profile(&self.name).with_clock(start_hour);
+        self.with_churn(ChurnModel::Calibrated(profile))
     }
 }
 
@@ -151,6 +182,17 @@ pub fn scaled_sites(target_nodes: usize) -> Vec<SiteConfig> {
     sites
 }
 
+/// [`scaled_sites`] with every site switched to its OSG-calibrated churn
+/// profile — the site list for trace-calibrated studies (BENCH_churn,
+/// EXPERIMENTS X16). Slot capacities, acquisition delays and outage
+/// processes are untouched; only the preemption generator changes.
+pub fn calibrated_sites(target_nodes: usize) -> Vec<SiteConfig> {
+    scaled_sites(target_nodes)
+        .into_iter()
+        .map(SiteConfig::calibrated)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +256,35 @@ mod tests {
         let sites = scaled_sites(3000);
         assert_eq!(sites[5].name, "OSG_SYN_00");
         assert_eq!(sites[5].domain, "syn0.osg.grid");
+    }
+
+    #[test]
+    fn sites_default_to_exponential_churn() {
+        // The historical fingerprints depend on this: scaled/paper sites
+        // must keep the legacy preemption path unless explicitly switched.
+        assert!(paper_sites()
+            .iter()
+            .chain(scaled_sites(3000).iter())
+            .all(|s| s.churn == ChurnModel::Exponential));
+    }
+
+    #[test]
+    fn calibrated_sites_carry_per_site_profiles() {
+        let sites = calibrated_sites(1101);
+        assert_eq!(sites.len(), 5);
+        for s in &sites {
+            assert_eq!(
+                s.churn,
+                ChurnModel::Calibrated(osg_profile(&s.name)),
+                "site {} must carry its own profile",
+                s.name
+            );
+        }
+        // Only the churn generator changes.
+        let plain = scaled_sites(1101);
+        for (c, p) in sites.iter().zip(plain.iter()) {
+            assert_eq!(c.max_slots, p.max_slots);
+            assert_eq!(c.node_lifetime, p.node_lifetime);
+        }
     }
 }

@@ -31,6 +31,7 @@
 //! [`GridModel::submit_workers`]: crate::GridModel::submit_workers
 //! [`GridModel::remove_workers_preferring`]: crate::GridModel::remove_workers_preferring
 
+use crate::churn::DiurnalForecast;
 use crate::config::{GridParams, SiteConfig};
 use hog_sim_core::units::transfer_secs;
 use hog_sim_core::{SimDuration, SimTime};
@@ -68,6 +69,13 @@ pub struct ElasticConfig {
     /// mediator only hands over *idle* workers, so large steps are
     /// throttled by what is actually reclaimable).
     pub max_shrink_step: usize,
+    /// Diurnal preemption forecast: when set, the demand target is
+    /// scaled by the predicted preemption-rate multiplier at
+    /// `now + spinup` (floored at 1), so the controller buys replacement
+    /// capacity *before* the daily reclaim wave kills what it has.
+    /// `None` (the default) keeps the pure demand law — bit-identical to
+    /// pre-forecast builds.
+    pub forecast: Option<DiurnalForecast>,
 }
 
 impl ElasticConfig {
@@ -83,7 +91,14 @@ impl ElasticConfig {
             cooldown: SimDuration::from_secs(90),
             shrink_patience: SimDuration::from_secs(180),
             max_shrink_step: 150,
+            forecast: None,
         }
+    }
+
+    /// Enable diurnal pre-growth with the given forecast.
+    pub fn with_forecast(mut self, forecast: DiurnalForecast) -> Self {
+        self.forecast = Some(forecast);
+        self
     }
 }
 
@@ -168,11 +183,13 @@ impl ElasticController {
         self.spinup
     }
 
-    /// The demand-driven pool target for a snapshot: enough workers to
-    /// run every pending+running task at once (per slot kind), times
-    /// the headroom factor, clamped to the configured bounds. An idle
-    /// pool targets the floor.
-    pub fn target(&self, snap: &PoolSnapshot) -> usize {
+    /// The demand-driven pool target for a snapshot at `now`: enough
+    /// workers to run every pending+running task at once (per slot
+    /// kind), times the headroom factor and — when a [`DiurnalForecast`]
+    /// is configured — the predicted preemption-rate multiplier at
+    /// `now + spinup` (floored at 1, so quiet hours are unaffected),
+    /// clamped to the configured bounds. An idle pool targets the floor.
+    pub fn target(&self, now: SimTime, snap: &PoolSnapshot) -> usize {
         if snap.active_jobs == 0 {
             return self.cfg.min_nodes;
         }
@@ -185,7 +202,11 @@ impl ElasticController {
             self.cfg.reduce_slots_per_node as usize,
         );
         let demand = map_nodes.max(reduce_nodes);
-        let padded = (demand as f64 * self.cfg.headroom).ceil() as usize;
+        let forecast = self
+            .cfg
+            .forecast
+            .map_or(1.0, |f| f.growth_factor(now, self.spinup));
+        let padded = (demand as f64 * self.cfg.headroom * forecast).ceil() as usize;
         padded.clamp(self.cfg.min_nodes, self.cfg.max_nodes)
     }
 
@@ -201,7 +222,7 @@ impl ElasticController {
 
     /// One control step. `now` must be non-decreasing across calls.
     pub fn decide(&mut self, now: SimTime, snap: &PoolSnapshot) -> ElasticDecision {
-        let target = self.target(snap);
+        let target = self.target(now, snap);
         let supply = snap.reported_live + snap.outstanding;
         // Shrink edge: target plus the hysteresis band (≥ 2 absolute so
         // a one-worker ripple can never trigger anything).
@@ -382,6 +403,31 @@ mod tests {
             ElasticDecision::Hold,
             "patience restarted at 200 s"
         );
+    }
+
+    #[test]
+    fn forecast_pre_grows_ahead_of_the_wave() {
+        let cfg = ElasticConfig::new(10, 600).with_forecast(DiurnalForecast {
+            amplitude: 0.6,
+            peak_hour: 14.0,
+        });
+        let mut c = ElasticController::new(cfg, &GridParams::default(), &paper_sites());
+        let snap = busy(100, 170, 0);
+        // Demand target without a forecast: ceil(100 * 1.5) = 150; supply
+        // 170 sits inside the hold band. Just before the daily peak the
+        // forecast scales the target past the supply and the controller
+        // buys ahead.
+        let night = SimTime::from_secs(2 * 3600);
+        assert_eq!(c.decide(night, &snap), ElasticDecision::Hold);
+        let before_peak = SimTime::from_secs(13 * 3600 + 1800);
+        match c.decide(before_peak, &snap) {
+            ElasticDecision::Grow(n) => assert!(n > 0, "pre-growth must request workers"),
+            d => panic!("expected pre-growth near the peak, got {d:?}"),
+        }
+        // No forecast: same snapshot holds at any hour.
+        let mut plain = controller(10, 600);
+        assert_eq!(plain.decide(night, &snap), ElasticDecision::Hold);
+        assert_eq!(plain.decide(before_peak, &snap), ElasticDecision::Hold);
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!   preempted. Preempted glidein jobs requeue automatically
 //!   (`OnExitRemove = FALSE` in the paper's submit file), which is what
 //!   makes the pool self-healing.
+//! * [`churn`] — the preemption generators behind [`ChurnModel`]: the
+//!   legacy exponential default (bit-identical to pre-churn builds) and
+//!   the OSG-calibrated heavy-tailed diurnal model, plus the
+//!   [`DiurnalForecast`] the elastic controller uses to pre-grow ahead
+//!   of predicted preemption waves.
+//! * [`controller`] — the deterministic [`ElasticController`] feedback
+//!   loop that resizes the glidein pool from backlog/supply snapshots.
 //!
 //! The model is event-driven but free of global state: the mediator
 //! (in `hog-core`) feeds it [`GridEvent`]s and forwards the returned
@@ -25,10 +32,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod config;
 pub mod controller;
 pub mod model;
 
+pub use churn::{CalibratedChurn, ChurnModel, DiurnalForecast};
 pub use config::{GridParams, SiteConfig};
 pub use controller::{ElasticConfig, ElasticController, ElasticDecision, PoolSnapshot};
 pub use model::{GridModel, GridOutput, LossReason};

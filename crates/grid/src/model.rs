@@ -397,10 +397,14 @@ impl GridModel {
         });
         let mut out = GridOutput::default();
         out.notes.push(GridNote::NodeStarted { node });
-        let lifetime = self.sites[self.site_idx(site)]
-            .config
-            .node_lifetime
-            .sample(&mut self.rng);
+        // The Exponential arm is the exact legacy path (one draw from
+        // `node_lifetime`), so default-churn runs stay bit-identical; the
+        // calibrated generator has its own draw pattern (DESIGN §16.1).
+        let cfg = &self.sites[self.site_idx(site)].config;
+        let lifetime = match cfg.churn {
+            crate::churn::ChurnModel::Exponential => cfg.node_lifetime.sample(&mut self.rng),
+            crate::churn::ChurnModel::Calibrated(c) => c.sample_lifetime(now, &mut self.rng),
+        };
         out.defer.push((lifetime, GridEvent::Preempt { node }));
         out
     }

@@ -173,6 +173,13 @@ impl LocalityIndex {
     }
 }
 
+/// Sunk work that makes a doomed attempt's rescue *urgent* — worth a
+/// copy ahead of fresh pending work. Losing this much progress (plus the
+/// 30 s detector and a from-scratch rerun) costs more than making one
+/// pending task wait a heartbeat; below it, rescues only fill otherwise
+/// idle slots.
+const RESCUE_URGENT_SUNK: SimDuration = SimDuration::from_secs(60);
+
 /// One slot kind's cached policy job order. Valid while `epoch` matches
 /// the JobTracker's `sched_epoch` (0 never matches — a fresh cache is
 /// always stale). The buffer is reused across rebuilds, so steady-state
@@ -197,6 +204,15 @@ pub struct JtCounters {
     pub remote: u64,
     /// Speculative attempts launched.
     pub speculative: u64,
+    /// Rescue copies launched on predicted-failure signals
+    /// ([`Scheduler::predicts_failure`]).
+    pub rescue_copies: u64,
+    /// Unplanned node deaths whose running tasks already had a live
+    /// rescue copy elsewhere (the prediction paid off).
+    pub rescue_hits: u64,
+    /// Unplanned node deaths that caught a running task with no rescue
+    /// copy in flight (the predictor was late or never fired).
+    pub rescue_misses: u64,
     /// Attempt failures.
     pub failures: u64,
     /// Jobs completed.
@@ -242,6 +258,14 @@ pub struct JobTracker {
     dead_trackers: usize,
     /// Reduce attempts that returned `StartSort` already.
     sorting: HashSet<AttemptRef>,
+    /// Attempts launched as predicted-failure rescues, kept to tell
+    /// prediction hits from misses when the doomed node actually dies.
+    rescue_attempts: HashSet<AttemptRef>,
+    /// Negative cache for rescue scans, per slot kind × urgency tier:
+    /// an unsuccessful scan at `t` suppresses rescans of that tier until
+    /// the clock moves on, so heartbeats within one master tick pay for
+    /// at most one walk each.
+    rescue_last_scan: [[Option<SimTime>; 2]; 2],
     /// The slot-assignment policy (chosen by [`MrParams::sched`]).
     sched: Box<dyn Scheduler>,
     rng: SimRng,
@@ -298,6 +322,8 @@ impl JobTracker {
             silent: BTreeSet::new(),
             dead_trackers: 0,
             sorting: HashSet::new(),
+            rescue_attempts: HashSet::new(),
+            rescue_last_scan: [[None; 2]; 2],
             sched: hog_sched::build(cfg.sched),
             cfg,
             rng,
@@ -488,7 +514,7 @@ impl JobTracker {
     /// Aggregate task backlog over incomplete jobs — the demand half of
     /// the elastic controller's pool snapshot. O(1): the counters are
     /// maintained incrementally at every pending/running transition (and
-    /// audited against [`JobTracker::recount_backlog`]).
+    /// audited against a full recount in debug builds).
     pub fn backlog(&self) -> Backlog {
         self.agg
     }
@@ -617,6 +643,18 @@ impl JobTracker {
         self.silent.remove(&node);
         if !planned {
             self.sched.on_tracker_dead(node, now);
+            // Score the predictor against reality: each attempt this
+            // crash caught either had a rescue copy in flight (hit) or
+            // did not (miss).
+            if self.sched.prediction_enabled() {
+                for &att in &running {
+                    match self.rescue_outcome(att) {
+                        Some(true) => self.counters.rescue_hits += 1,
+                        Some(false) => self.counters.rescue_misses += 1,
+                        None => {}
+                    }
+                }
+            }
         }
         self.tracer.emit(|| {
             let kind = if planned {
@@ -686,7 +724,7 @@ impl JobTracker {
     /// Submit a job; split locality hints come from the submission.
     pub fn submit_job(&mut self, now: SimTime, spec: JobSubmission, topo: &Topology) -> JobId {
         let id = JobId(self.jobs.len() as u32);
-        let maps = spec.maps() as u32;
+        let maps = spec.maps();
         let reduces = spec.reduces as usize;
         let mut idx = LocalityIndex {
             locs: Vec::with_capacity(spec.split_locations.len()),
@@ -875,13 +913,30 @@ impl JobTracker {
         if !self.sched.admit(node, site, SlotKind::Map, now) {
             return None;
         }
+        // Urgent rescues outrank fresh work: an attempt with substantial
+        // sunk work on a doomed node loses all of it when the node dies,
+        // while a pending task merely waits one more heartbeat. Without
+        // this tier a backlogged preemption wave — when every heartbeat
+        // finds pending work — starves the rescue path exactly when it
+        // matters most.
+        if self.sched.prediction_enabled() {
+            if let Some(a) = self.rescue(now, node, TaskKind::Map, topo, RESCUE_URGENT_SUNK) {
+                return Some(a);
+            }
+        }
         let order = self.take_order(SlotKind::Map, now);
         let picked = self.try_assign_map(now, node, site, topo, &order.buf);
         self.put_order(SlotKind::Map, order);
         if picked.is_some() {
             return picked;
         }
-        // No pending map anywhere: consider speculation.
+        // No pending map anywhere: rescue tasks off predicted-doomed
+        // nodes first (more urgent than stragglers), then speculate.
+        if self.sched.prediction_enabled() {
+            if let Some(a) = self.rescue(now, node, TaskKind::Map, topo, SimDuration::ZERO) {
+                return Some(a);
+            }
+        }
         if self.cfg.speculative_enabled {
             return self.speculate(now, node, TaskKind::Map, topo);
         }
@@ -997,6 +1052,18 @@ impl JobTracker {
         if picked.is_some() {
             return picked;
         }
+        // Reduces get no *urgent* rescue tier: a reduce copy re-fetches
+        // its whole shuffle over the same (often cross-site) links the
+        // original is using, so buying one at the cost of a fresh
+        // assignment doubles the most expensive traffic in the system —
+        // a measured net loss in BENCH_churn. On an otherwise idle slot
+        // the copy only costs the duplicate fetch, which the relative
+        // placement bar and the site-median gate keep rare enough to pay.
+        if self.sched.prediction_enabled() {
+            if let Some(a) = self.rescue(now, node, TaskKind::Reduce, topo, SimDuration::ZERO) {
+                return Some(a);
+            }
+        }
         if self.cfg.speculative_enabled {
             return self.speculate(now, node, TaskKind::Reduce, topo);
         }
@@ -1093,6 +1160,188 @@ impl JobTracker {
     fn partition_bytes(&self, job: JobId) -> u64 {
         let spec = &self.jobs[job.0 as usize].spec;
         spec.map_output_bytes / spec.reduces.max(1) as u64
+    }
+
+    /// One rescue copy of a `kind` task currently running on a node the
+    /// policy predicts will die ([`Scheduler::predicts_failure`]),
+    /// launched *before* the 30 s liveness detector can fire. Rescues
+    /// share speculation's ≤ 2 copy budget, so a rescued task is never
+    /// rescued twice; placement is judged per doomed candidate by
+    /// [`Scheduler::allow_rescue`], a bar *relative* to the node being
+    /// rescued from so the pass keeps working when a preemption wave
+    /// taints the whole pool.
+    fn rescue(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        topo: &Topology,
+        min_sunk: SimDuration,
+    ) -> Option<Assignment> {
+        let slot_kind = match kind {
+            TaskKind::Map => SlotKind::Map,
+            TaskKind::Reduce => SlotKind::Reduce,
+        };
+        // Negative cache: a fruitless scan suppresses rescans of this
+        // urgency tier until the clock moves (coalesced heartbeats share
+        // one instant). The tiers cache separately — a fruitless urgent
+        // scan says nothing about the wider any-sunk scan.
+        let tier = usize::from(min_sunk > SimDuration::ZERO);
+        if self.rescue_last_scan[slot_kind as usize][tier]
+            .is_some_and(|t| now.saturating_since(t) == SimDuration::ZERO)
+        {
+            return None;
+        }
+        let order = self.take_order(slot_kind, now);
+        let picked = self.try_rescue(now, node, kind, topo, &order.buf, min_sunk);
+        self.put_order(slot_kind, order);
+        if picked.is_none() {
+            self.rescue_last_scan[slot_kind as usize][tier] = Some(now);
+        }
+        picked
+    }
+
+    fn try_rescue(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        topo: &Topology,
+        order: &[u32],
+        min_sunk: SimDuration,
+    ) -> Option<Assignment> {
+        for &jid in order {
+            let jid = JobId(jid);
+            let job = &self.jobs[jid.0 as usize];
+            if job.status != JobStatus::Running
+                || job.blacklisted(node, self.cfg.blacklist_threshold)
+            {
+                continue;
+            }
+            let max_copies = self.cfg.max_task_copies as usize;
+            let tasks = match kind {
+                TaskKind::Map => &job.maps,
+                TaskKind::Reduce => &job.reduces,
+            };
+            // Walk the whole running index: unlike speculation there is
+            // no age cutoff (doom is a property of the node, not the
+            // attempt), so the negative cache above does the cost control.
+            // `min_sunk` filters the urgent tier to attempts whose sunk
+            // work is actually worth outranking fresh assignments for.
+            // Candidates are taken in task-index order (BTreeMap), not
+            // sunk-work order: the oldest running attempts are mostly
+            // stragglers, whose slowness is task-intrinsic — a copy of
+            // one is just as slow, so chasing sunk work buys the most
+            // expensive duplicates with the least residual exposure.
+            let mut doomed: BTreeMap<u32, NodeId> = BTreeMap::new();
+            let mut on_node: HashSet<u32> = HashSet::new();
+            for &(start, k, index, attempt) in &job.running_by_start {
+                if k != kind {
+                    continue;
+                }
+                let a = &tasks[index as usize].attempts[attempt as usize];
+                debug_assert_eq!(a.phase, AttemptPhase::Running);
+                if a.node == node {
+                    on_node.insert(index);
+                } else if now.saturating_since(start) >= min_sunk
+                    && self.sched.marks_doomed(a.node, topo.site_of(a.node), now)
+                {
+                    doomed.insert(index, a.node);
+                }
+            }
+            let site = topo.site_of(node);
+            let candidate = doomed.iter().map(|(&i, &n)| (i, n)).find(|&(index, dn)| {
+                let t = &tasks[index as usize];
+                let running = t.running_attempts();
+                !t.done
+                    && running >= 1
+                    && running < max_copies
+                    && !on_node.contains(&index)
+                    && self.sched.allow_rescue(node, site, dn, topo.site_of(dn), now)
+            });
+            let candidate = candidate.map(|(index, _)| index);
+            let Some(index) = candidate else {
+                continue;
+            };
+            self.counters.rescue_copies += 1;
+            self.tracer.emit(|| {
+                TraceEvent::new(Layer::MapReduce, "rescue")
+                    .with("job", jid.0)
+                    .with("kind", kind.as_str())
+                    .with("task", index)
+                    .with("node", node.0)
+            });
+            let task = TaskRef { job: jid, kind, index };
+            let attempt = self.start_attempt(now, task, node);
+            self.rescue_attempts.insert(attempt);
+            return Some(match kind {
+                TaskKind::Map => {
+                    // The rescue copy reads the same fixed replica set as
+                    // the doomed original, so it gets whatever locality the
+                    // rescuing node actually has — unlike speculation,
+                    // which models Hadoop's blind remote re-execution.
+                    let replicas = &self.locality[jid.0 as usize].locs[index as usize];
+                    let locality = if replicas.iter().any(|&(n, _, _)| n == node) {
+                        Locality::NodeLocal
+                    } else if self.sched.rack_aware()
+                        && replicas.iter().any(|&(_, r, _)| r == topo.rack_of(node))
+                    {
+                        Locality::RackLocal
+                    } else if replicas.iter().any(|&(_, _, s)| s == site) {
+                        Locality::SiteLocal
+                    } else {
+                        Locality::Remote
+                    };
+                    match locality {
+                        Locality::NodeLocal => self.counters.node_local += 1,
+                        Locality::RackLocal => self.counters.rack_local += 1,
+                        Locality::SiteLocal => self.counters.site_local += 1,
+                        Locality::Remote => self.counters.remote += 1,
+                    }
+                    let spec = &self.jobs[jid.0 as usize].spec;
+                    let (block, input_bytes) = spec.input_blocks[index as usize];
+                    let a = Assignment::Map {
+                        attempt,
+                        block,
+                        input_bytes,
+                        cpu_secs: spec.map_cpu_secs,
+                        output_bytes: spec.map_output_bytes,
+                        locality,
+                    };
+                    self.sched
+                        .on_assigned(jid.0, SlotKind::Map, node, Some(locality), now);
+                    a
+                }
+                TaskKind::Reduce => {
+                    self.init_reduce_plan(attempt, topo);
+                    self.sched
+                        .on_assigned(jid.0, SlotKind::Reduce, node, None, now);
+                    Assignment::Reduce { attempt }
+                }
+            });
+        }
+        None
+    }
+
+    /// Prediction outcome for an attempt lost to an unplanned death:
+    /// `Some(true)` when a rescue sibling is already running (or even
+    /// finished) elsewhere, `Some(false)` when the predictor left it
+    /// uncovered, `None` when the lost attempt is itself a rescue copy
+    /// (the rescue was mis-placed; neither hit nor miss).
+    fn rescue_outcome(&self, att: AttemptRef) -> Option<bool> {
+        if self.rescue_attempts.contains(&att) {
+            return None;
+        }
+        let ts = self.jobs[att.task.job.0 as usize].task(att.task);
+        let hit = ts.attempts.iter().enumerate().any(|(i, a)| {
+            i as u8 != att.attempt
+                && matches!(a.phase, AttemptPhase::Running | AttemptPhase::Succeeded)
+                && self.rescue_attempts.contains(&AttemptRef {
+                    task: att.task,
+                    attempt: i as u8,
+                })
+        });
+        Some(hit)
     }
 
     /// One speculative attempt for a straggling `kind` task, if any
@@ -1549,6 +1798,9 @@ impl JobTracker {
         }
         let was_queued = self.fifo.contains(&jid);
         self.fifo.retain(|&j| j != jid);
+        if !self.rescue_attempts.is_empty() {
+            self.rescue_attempts.retain(|a| a.task.job != jid);
+        }
         if was_queued {
             // Whatever the job still contributed to the aggregate backlog
             // (failed jobs retire with tasks still pending) leaves with it.

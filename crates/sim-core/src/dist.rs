@@ -7,6 +7,8 @@
 //!   opportunistic node lifetimes.
 //! * [`UniformDuration`] — batch-queue acquisition delays.
 //! * [`LogNormal`] — heavy-tailed service-time jitter.
+//! * [`Pareto`] — power-law tails for preemption inter-arrival and
+//!   straggler slowdowns (the OSG preemption study's tail shape).
 //!
 //! Every sampler returns a [`SimDuration`] so call sites cannot confuse
 //! seconds with milliseconds.
@@ -114,6 +116,47 @@ impl LogNormal {
     }
 }
 
+/// Pareto (type I) distribution: `P(X > x) = (scale / x)^shape` for
+/// `x >= scale`. The heavy tail observed for Open Science Grid preemption
+/// inter-arrival times — most glideins die young, but a power-law
+/// minority survive for many hours.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale_secs: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Pareto with minimum value `scale` and tail index `shape`. A
+    /// non-positive scale degenerates to a point at zero; shapes are
+    /// clamped to at least 0.1 so the inverse transform stays finite.
+    pub fn new(scale: SimDuration, shape: f64) -> Self {
+        Pareto {
+            scale_secs: scale.as_secs_f64(),
+            shape: shape.max(0.1),
+        }
+    }
+
+    /// The configured minimum (scale) value.
+    pub fn scale(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.scale_secs.max(0.0))
+    }
+
+    /// The configured tail index.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Draw a sample via inverse transform: `scale * U^(-1/shape)`.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        if self.scale_secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let u = (1.0 - rng.unit()).max(f64::MIN_POSITIVE); // U in (0, 1]
+        SimDuration::from_secs_f64(self.scale_secs * u.powf(-1.0 / self.shape))
+    }
+}
+
 /// One standard-normal variate via Box–Muller (we discard the second to
 /// keep the sampler stateless; throughput is irrelevant here).
 pub fn standard_normal(rng: &mut SimRng) -> f64 {
@@ -195,6 +238,31 @@ mod tests {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 30.0).abs() < 2.0, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(SimDuration::from_secs(60), 1.5);
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng).as_secs_f64()).collect();
+        assert!(samples.iter().all(|&s| s >= 60.0), "support starts at scale");
+        // P(X > 2*scale) = 2^-1.5 ~= 0.3536.
+        let over = samples.iter().filter(|&&s| s > 120.0).count() as f64 / n as f64;
+        assert!((over - 0.3536).abs() < 0.02, "tail probability {over}");
+    }
+
+    #[test]
+    fn pareto_degenerate_and_clamped() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(
+            Pareto::new(SimDuration::ZERO, 2.0).sample(&mut rng),
+            SimDuration::ZERO
+        );
+        // Non-positive shapes clamp rather than explode.
+        let d = Pareto::new(SimDuration::from_secs(1), -3.0);
+        assert!(d.shape() >= 0.1);
+        assert!(d.sample(&mut rng) >= SimDuration::from_secs(1));
     }
 
     #[test]

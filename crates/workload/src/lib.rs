@@ -10,9 +10,15 @@
 //! (Table II), non-decreasing in job size.
 //!
 //! * [`facebook`] — the bin definitions of Tables I & II.
-//! * [`schedule`] — deterministic submission-schedule generation.
+//! * [`schedule`] — deterministic submission-schedule generation,
+//!   including the day-long diurnal trace
+//!   ([`SubmissionSchedule::facebook_day`]).
 //! * [`jobmodel`] — the loadgen cost model (map output ratio, CPU cost)
 //!   applied to every generated job.
+//! * [`trace`] / [`swim`] — schedule import/export: the four-column CSV
+//!   round-trip and SWIM-format (tab-separated, byte-sized) ingestion.
+//! * [`straggler`] — the heavy-tailed task-slowdown mix the cluster can
+//!   layer on top of any schedule.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,9 +26,13 @@
 pub mod facebook;
 pub mod jobmodel;
 pub mod schedule;
+pub mod straggler;
+pub mod swim;
 pub mod trace;
 
-pub use facebook::{Bin, FACEBOOK_BINS, TRUNCATED_BIN_COUNT};
+pub use facebook::{bin_for_maps, Bin, FACEBOOK_BINS, TRUNCATED_BIN_COUNT};
 pub use jobmodel::LoadgenParams;
 pub use schedule::{JobSpec, SubmissionSchedule};
+pub use straggler::StragglerMix;
+pub use swim::{from_swim, to_swim};
 pub use trace::{from_csv, to_csv};

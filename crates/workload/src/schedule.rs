@@ -8,7 +8,7 @@
 
 use crate::facebook::{truncated_bins, Bin, FACEBOOK_BINS, MEAN_INTERARRIVAL_SECS};
 use hog_sim_core::dist::Exponential;
-use hog_sim_core::{SimRng, SimTime};
+use hog_sim_core::{SimDuration, SimRng, SimTime};
 
 /// One job of the benchmark workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,59 @@ impl SubmissionSchedule {
                 spec
             })
             .collect();
+        SubmissionSchedule { jobs }
+    }
+
+    /// A day-long trace in the shape of the SWIM Facebook samples:
+    /// ≈1000 jobs over 24 hours whose arrival intensity follows a
+    /// diurnal curve (peak mid-afternoon, trough at night), sizes drawn
+    /// from the truncated Table I bin mix. This is the long-horizon
+    /// replay workload — the 88-job truncation ends after 21 minutes
+    /// and never sees a diurnal preemption wave.
+    pub fn facebook_day(seed: u64) -> Self {
+        Self::diurnal_day(seed, 1000, 14.0, 0.5)
+    }
+
+    /// Generic day-long generator: ≈`jobs_per_day` jobs over 24 h, with
+    /// instantaneous arrival rate `1 + amplitude·cos(2π(hour − peak_hour)/24)`
+    /// times the daily mean. Sizes are drawn from the truncated bins
+    /// weighted by their Facebook job fractions. Deterministic in `seed`.
+    pub fn diurnal_day(seed: u64, jobs_per_day: usize, peak_hour: f64, amplitude: f64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let bins = truncated_bins();
+        let total_frac: f64 = bins.iter().map(|b| b.fraction_at_facebook).sum();
+        let base_gap = 86_400.0 / jobs_per_day.max(1) as f64;
+        let amplitude = amplitude.clamp(0.0, 0.99);
+        let day_end = SimTime::ZERO + SimDuration::from_secs(86_400);
+        let mut t = SimTime::ZERO;
+        let mut jobs = Vec::new();
+        while t < day_end {
+            let mut u = rng.unit() * total_frac;
+            let mut bin = &bins[0];
+            for b in bins {
+                if u < b.fraction_at_facebook {
+                    bin = b;
+                    break;
+                }
+                u -= b.fraction_at_facebook;
+            }
+            jobs.push(JobSpec {
+                id: jobs.len() as u32,
+                submit_at: t,
+                bin: bin.number,
+                maps: bin.maps,
+                reduces: bin.reduces,
+            });
+            // The cosine intensity integrates to jobs_per_day over the
+            // day, so scaling the exponential mean by its reciprocal
+            // compresses arrivals near the peak without changing the
+            // daily total in expectation.
+            let hour = (t.as_secs_f64() / 3600.0) % 24.0;
+            let rate = 1.0
+                + amplitude * (std::f64::consts::TAU * (hour - peak_hour) / 24.0).cos();
+            let gap = Exponential::from_mean_secs(base_gap / rate.max(0.01));
+            t += gap.sample(&mut rng);
+        }
         SubmissionSchedule { jobs }
     }
 
@@ -196,6 +249,68 @@ mod tests {
         let c = SubmissionSchedule::facebook_truncated(6);
         assert_eq!(a.jobs(), b.jobs());
         assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    fn day_trace_is_day_long_and_thousand_jobs() {
+        let s = SubmissionSchedule::facebook_day(7);
+        assert!(
+            (800..1200).contains(&s.len()),
+            "day trace has {} jobs, wanted ≈1000",
+            s.len()
+        );
+        let span = s.last_submission().as_secs_f64();
+        assert!(
+            (80_000.0..86_400.0).contains(&span),
+            "day trace spans {span}s"
+        );
+        assert!(s.jobs().windows(2).all(|w| w[0].submit_at <= w[1].submit_at));
+        assert!(s.jobs().iter().enumerate().all(|(i, j)| j.id == i as u32));
+        // Only truncated bins appear.
+        assert!(s.jobs().iter().all(|j| j.bin >= 1 && j.bin <= 6));
+    }
+
+    #[test]
+    fn day_trace_compresses_arrivals_at_the_peak() {
+        // Count jobs in the 6 h window around the 14:00 peak vs the 6 h
+        // window around the 02:00 trough, averaged over seeds.
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        for seed in 0..8 {
+            for j in SubmissionSchedule::facebook_day(seed).jobs() {
+                let hour = j.submit_at.as_secs_f64() / 3600.0;
+                if (11.0..17.0).contains(&hour) {
+                    peak += 1;
+                } else if !(5.0..23.0).contains(&hour) {
+                    trough += 1;
+                }
+            }
+        }
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "peak window {peak} vs trough {trough}: diurnal shape missing"
+        );
+    }
+
+    #[test]
+    fn day_trace_deterministic_and_seed_sensitive() {
+        let a = SubmissionSchedule::facebook_day(5);
+        let b = SubmissionSchedule::facebook_day(5);
+        let c = SubmissionSchedule::facebook_day(6);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    fn flat_diurnal_day_is_roughly_uniform() {
+        let s = SubmissionSchedule::diurnal_day(11, 500, 14.0, 0.0);
+        let first_half = s
+            .jobs()
+            .iter()
+            .filter(|j| j.submit_at.as_secs_f64() < 43_200.0)
+            .count();
+        let ratio = first_half as f64 / s.len() as f64;
+        assert!((0.4..0.6).contains(&ratio), "first-half ratio {ratio}");
     }
 
     #[test]
