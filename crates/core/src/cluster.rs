@@ -22,7 +22,8 @@ use hog_chaos::{Auditor, ChaosFailure, Fault, ProgressSig, Watchdog};
 use hog_grid::{ElasticController, ElasticDecision, GridModel, GridNote, LossReason, PoolSnapshot};
 use hog_hdfs::datanode::DnLiveness;
 use hog_hdfs::{
-    BlockId, FileId, Namenode, RackAwarePolicy, RackObliviousPolicy, ReplOrder, SiteAwarePolicy,
+    AvailabilitySnapshot, BlockId, FileId, Namenode, RackAwarePolicy, RackObliviousPolicy,
+    ReplOrder, SiteAwarePolicy, SiteRisk,
 };
 use hog_mapreduce::jobtracker::FailReason;
 use hog_mapreduce::{Assignment, AttemptRef, JobId, JobSubmission, JobTracker, JtNote, ReduceStep};
@@ -136,6 +137,11 @@ struct ObsMetrics {
     node_starts: MetricId,
     missing_blocks: MetricId,
     repl_completed: MetricId,
+    block_reads: MetricId,
+    repl_trims: MetricId,
+    avail_raised: MetricId,
+    avail_lowered: MetricId,
+    replica_bytes: MetricId,
     maps_done: MetricId,
     reduces_done: MetricId,
     task_failures: MetricId,
@@ -173,6 +179,11 @@ impl ObsMetrics {
             node_starts: reg.register(Layer::Grid, "node_starts"),
             missing_blocks: reg.register(Layer::Hdfs, "missing_blocks"),
             repl_completed: reg.register(Layer::Hdfs, "repl_completed"),
+            block_reads: reg.register(Layer::Hdfs, "block_reads"),
+            repl_trims: reg.register(Layer::Hdfs, "repl_trims"),
+            avail_raised: reg.register(Layer::Hdfs, "avail_raised"),
+            avail_lowered: reg.register(Layer::Hdfs, "avail_lowered"),
+            replica_bytes: reg.register(Layer::Hdfs, "replica_bytes"),
             maps_done: reg.register(Layer::MapReduce, "maps_done"),
             reduces_done: reg.register(Layer::MapReduce, "reduces_done"),
             task_failures: reg.register(Layer::MapReduce, "task_failures"),
@@ -258,6 +269,11 @@ pub struct Cluster {
     adaptive: Option<crate::adaptive::AdaptiveReplication>,
     /// History of adaptive factor changes: (time, factor).
     pub adaptive_changes: Vec<(SimTime, u16)>,
+    /// Last availability-policy sweep instant (X17), when armed.
+    avail_last: Option<SimTime>,
+    /// History of availability sweeps that changed any target:
+    /// (time, targets raised, targets lowered).
+    pub avail_actions: Vec<(SimTime, u64, u64)>,
     /// Elastic pool controller, when `cfg.elastic` is set on a grid run.
     elastic: Option<ElasticController>,
     /// History of elastic resizes: (time, signed node delta).
@@ -404,6 +420,8 @@ impl Cluster {
             target_nodes,
             adaptive: cfg2.map(|(min, max)| crate::adaptive::AdaptiveReplication::new(min, max)),
             adaptive_changes: Vec::new(),
+            avail_last: None,
+            avail_actions: Vec::new(),
             elastic,
             elastic_actions: Vec::new(),
             slots_of: HashMap::new(),
@@ -1764,19 +1782,31 @@ impl Cluster {
         victims
     }
 
-    /// Whether every block on `node` keeps at least one live replica
-    /// after removing `node` and every already-planned victim.
+    /// Whether every block on `node` keeps enough live replicas after
+    /// removing `node` and every already-planned victim. With the
+    /// availability policy off "enough" is the legacy one survivor; when
+    /// armed the floor rises to [`AvailabilityPolicy::shrink_floor`]
+    /// (half the block's target) so an elastic shrink can't collapse an
+    /// adaptively-thin block down to a single copy on a churny site.
+    ///
+    /// [`AvailabilityPolicy::shrink_floor`]: hog_hdfs::AvailabilityPolicy::shrink_floor
     fn replicas_survive_without(&self, node: NodeId, planned: &HashSet<NodeId>) -> bool {
+        let policy = self.cfg.hdfs.availability;
         let Some(dn) = self.masters.nn.datanode(node) else {
             return true;
         };
         dn.blocks.iter().all(|&b| {
             let meta = self.masters.nn.block(b);
-            meta.expected == 0
-                || meta
-                    .replicas
-                    .iter()
-                    .any(|r| *r != node && !planned.contains(r))
+            if meta.expected == 0 {
+                return true;
+            }
+            let floor = policy.map_or(1, |p| p.shrink_floor(meta.expected));
+            meta.replicas
+                .iter()
+                .filter(|r| **r != node && !planned.contains(r))
+                .take(floor)
+                .count()
+                >= floor
         })
     }
 
@@ -1844,6 +1874,12 @@ impl Cluster {
     /// execute them as copy-then-drop transfers.
     fn on_balancer_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
         let plan = hog_hdfs::balancer::plan(&self.masters.nn, &self.topo, 0.10, 32);
+        // Trims first: shedding an excess replica frees the same bytes
+        // as a move without a transfer. Empty unless the availability
+        // policy lowered targets below current replica counts.
+        for (block, node) in plan.trims {
+            hog_hdfs::balancer::apply_trim(&mut self.masters.nn, block, node);
+        }
         for mv in plan.moves {
             if !self.node_reachable(mv.src) || !self.node_usable(mv.dst) {
                 continue;
@@ -1861,6 +1897,67 @@ impl Cluster {
             );
         }
         self.arm_net(sched);
+    }
+
+    /// One availability-policy sweep (X17): classify every site by its
+    /// decayed failure score (hog-sched, via the JobTracker) and its
+    /// churn profile (hog-grid), then let the namenode retarget
+    /// per-block replication against the snapshot. A no-op unless
+    /// `cfg.hdfs.availability` is armed and the policy's interval has
+    /// elapsed.
+    fn on_availability_tick(&mut self, now: SimTime) {
+        let Some(policy) = self.cfg.hdfs.availability else {
+            return;
+        };
+        if self
+            .avail_last
+            .is_some_and(|t| now.saturating_since(t) < policy.interval)
+        {
+            return;
+        }
+        self.avail_last = Some(now);
+        let sites: Vec<SiteRisk> = self
+            .topo
+            .sites()
+            .iter()
+            .map(|info| {
+                let penalty = self.masters.jt.site_penalty(info.id, now);
+                let lifetime_secs = match self.site_churn(&info.name) {
+                    Some((mean, churn)) => {
+                        // Diurnal pressure > 1 compresses expected
+                        // survival exactly as it compresses sampled
+                        // lifetimes in hog-grid.
+                        churn.typical_lifetime_secs(mean) / churn.pressure(now).max(0.05)
+                    }
+                    // CENTRAL and sites outside the grid config have no
+                    // preemption process: never classified risky.
+                    None => f64::INFINITY,
+                };
+                SiteRisk {
+                    penalty,
+                    lifetime_secs,
+                }
+            })
+            .collect();
+        let (raised, lowered) = self
+            .masters
+            .nn
+            .apply_availability(AvailabilitySnapshot { sites }, &self.topo);
+        if raised + lowered > 0 {
+            self.avail_actions.push((now, raised, lowered));
+        }
+    }
+
+    /// The configured preemption process for a site, by OSG resource
+    /// name: `(exponential mean lifetime, churn model)`.
+    fn site_churn(&self, name: &str) -> Option<(SimDuration, hog_grid::ChurnModel)> {
+        let ResourceConfig::Grid { sites, .. } = &self.cfg.resource else {
+            return None;
+        };
+        sites
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| (s.node_lifetime.mean(), s.churn))
     }
 
     fn on_master_tick(&mut self, sched: &mut Scheduler<'_, Event>) {
@@ -1931,6 +2028,12 @@ impl Cluster {
                 }
             }
         }
+        // Availability policy (X17): per-block targets tracking site
+        // risk. Running phase only — the forming/upload pool has no
+        // failure history to classify against yet.
+        if !stalled && self.phase == RunPhase::Running {
+            self.on_availability_tick(sched.now());
+        }
         // Elastic pool controller: only while the workload is actually
         // running — forming/upload pools stay at the configured target,
         // and a stalled master can't see the backlog it would act on.
@@ -1967,6 +2070,9 @@ impl Cluster {
         let fairness = self.masters.jt.jain_fairness();
         let shares: Vec<(JobId, u32)> = self.masters.jt.job_shares().collect();
         let fo = self.masters.stats.clone();
+        let reads = self.masters.nn.read_count();
+        let (raised, lowered, trimmed) = self.masters.nn.availability_counters();
+        let replica_bytes = self.masters.nn.bytes_written();
         let m = self.obs_metrics.as_mut().unwrap();
         m.reg.set(m.pool_target, target as f64);
         m.reg.set(m.pool_outstanding, outstanding as f64);
@@ -2003,6 +2109,11 @@ impl Cluster {
         m.reg.set(m.node_starts, sig.node_starts as f64);
         m.reg.set(m.missing_blocks, missing as f64);
         m.reg.set(m.repl_completed, sig.repl_completed as f64);
+        m.reg.set(m.block_reads, reads as f64);
+        m.reg.set(m.repl_trims, trimmed as f64);
+        m.reg.set(m.avail_raised, raised as f64);
+        m.reg.set(m.avail_lowered, lowered as f64);
+        m.reg.set(m.replica_bytes, replica_bytes as f64);
         m.reg.set(m.maps_done, sig.maps_done as f64);
         m.reg.set(m.reduces_done, sig.reduces_done as f64);
         m.reg.set(m.task_failures, sig.task_failures as f64);

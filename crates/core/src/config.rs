@@ -440,6 +440,16 @@ impl ClusterConfig {
         self
     }
 
+    /// Arm the Trua-style per-block availability policy (X17): each
+    /// block's replication target tracks the failure risk of the sites
+    /// holding it, its read heat, and the sites' churn profiles, instead
+    /// of the flat factor. Also turns on fair replication dispatch (see
+    /// [`hog_hdfs::HdfsConfig::with_availability`]).
+    pub fn with_availability_policy(mut self, p: hog_hdfs::AvailabilityPolicy) -> Self {
+        self.hdfs = self.hdfs.with_availability(p);
+        self
+    }
+
     /// Inject a scripted fault timeline (hog-chaos).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.chaos.plan = plan;
@@ -574,6 +584,16 @@ mod tests {
         assert!(c.zombie.enabled);
         assert!(c.hdfs.disk_check_interval.is_some());
         assert_eq!(c.name, "x");
+    }
+
+    #[test]
+    fn availability_policy_defaults_off_and_builder_arms_it() {
+        let plain = ClusterConfig::hog(100, 1);
+        assert!(plain.hdfs.availability.is_none());
+        assert!(!plain.hdfs.repl_fairness);
+        let armed = plain.with_availability_policy(hog_hdfs::AvailabilityPolicy::trua_default());
+        assert!(armed.hdfs.availability.is_some());
+        assert!(armed.hdfs.repl_fairness, "policy arms fair dispatch too");
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub struct RunResult {
     /// lost-edit-window durations, re-registration storms). All zeros
     /// unless `cfg.failover` was set and a `MasterCrash` fired.
     pub failover: crate::master::FailoverStats,
+    /// Availability-policy activity (X17): `(targets raised, targets
+    /// lowered, excess replicas trimmed)`. All zeros when the policy is
+    /// off.
+    pub availability: (u64, u64, u64),
+    /// Total replica bytes materialised on datanodes (writes + repairs).
+    pub replica_bytes: u64,
+    /// Bytes re-replicated by the replication monitor (repair traffic
+    /// subset of `replica_bytes`).
+    pub repair_bytes: u64,
 }
 
 impl RunResult {
@@ -261,6 +270,9 @@ pub fn collect_result(
         trace: cluster.take_trace(),
         metrics: cluster.take_metrics(),
         failover: cluster.failover_stats().clone(),
+        availability: cluster.namenode().availability_counters(),
+        replica_bytes: cluster.namenode().bytes_written(),
+        repair_bytes: cluster.namenode().bytes_rereplicated(),
         reported_series: cluster.reported_series,
         actual_series: cluster.actual_series,
     }

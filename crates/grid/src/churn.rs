@@ -59,6 +59,30 @@ impl ChurnModel {
             ChurnModel::Calibrated(_) => "calibrated",
         }
     }
+
+    /// Typical glidein lifetime in seconds, for classifying site
+    /// stability (the availability policy's lifetime bands). The
+    /// exponential model's mean is the site's configured
+    /// `node_lifetime`, passed in; the calibrated model answers with its
+    /// log-normal body median — the tail survivors don't describe a
+    /// *typical* slot.
+    pub fn typical_lifetime_secs(&self, exponential_mean: SimDuration) -> f64 {
+        match self {
+            ChurnModel::Exponential => exponential_mean.as_secs_f64(),
+            ChurnModel::Calibrated(c) => c.body_median_secs,
+        }
+    }
+
+    /// Instantaneous preemption-pressure multiplier at `now` (≥ 1 means
+    /// more reclaim pressure than the daily mean). The exponential model
+    /// is memoryless and flat (always 1); the calibrated model exposes
+    /// its diurnal rate curve.
+    pub fn pressure(&self, now: SimTime) -> f64 {
+        match self {
+            ChurnModel::Exponential => 1.0,
+            ChurnModel::Calibrated(c) => c.diurnal_multiplier(now),
+        }
+    }
 }
 
 /// Parameters of the calibrated per-site preemption process: a
@@ -348,6 +372,20 @@ mod tests {
         assert!(fnal.body_median_secs > 2.0 * mit.body_median_secs);
         assert_eq!(osg_profile("OSG_SYN_00"), CalibratedChurn::osg_default());
         assert_eq!(osg_profile("whatever"), CalibratedChurn::osg_default());
+    }
+
+    #[test]
+    fn typical_lifetime_and_pressure_by_model() {
+        let exp = ChurnModel::Exponential;
+        let mean = SimDuration::from_secs(2100);
+        assert!((exp.typical_lifetime_secs(mean) - 2100.0).abs() < 1e-9);
+        assert!((exp.pressure(SimTime::from_secs(14 * 3600)) - 1.0).abs() < 1e-9);
+        let cal = ChurnModel::Calibrated(osg_profile("UCSDT2"));
+        assert!((cal.typical_lifetime_secs(mean) - 18.0 * 60.0).abs() < 1e-9);
+        let peak = SimTime::from_secs(13 * 3600);
+        let trough = peak + SimDuration::from_secs(12 * 3600);
+        assert!(cal.pressure(peak) > 1.4);
+        assert!(cal.pressure(trough) < 0.6);
     }
 
     #[test]

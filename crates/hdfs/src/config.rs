@@ -1,5 +1,6 @@
 //! HDFS configuration.
 
+use crate::availability::AvailabilityPolicy;
 use hog_sim_core::units::{GIB, MIB};
 use hog_sim_core::SimDuration;
 
@@ -34,6 +35,16 @@ pub struct HdfsConfig {
     /// check every 3 minutes"). `None` reproduces the *first iteration* of
     /// HOG, where zombie datanodes linger.
     pub disk_check_interval: Option<SimDuration>,
+    /// Trua-style per-block replication targets. `None` (the default)
+    /// keeps the flat factor and is bit-identical to the pre-policy
+    /// namenode.
+    pub availability: Option<AvailabilityPolicy>,
+    /// Rotate the replication monitor's dispatch order across ticks so
+    /// a standing stream of critical (1-replica) blocks cannot starve
+    /// higher buckets when the per-tick order budget runs out. Off by
+    /// default to preserve the legacy lowest-bucket-first order
+    /// bit-for-bit; armed automatically with the availability policy.
+    pub repl_fairness: bool,
 }
 
 impl HdfsConfig {
@@ -50,6 +61,8 @@ impl HdfsConfig {
             max_repl_orders_per_tick: 64,
             datanode_capacity: 40 * GIB,
             disk_check_interval: Some(SimDuration::from_secs(180)),
+            availability: None,
+            repl_fairness: false,
         }
     }
 
@@ -66,6 +79,8 @@ impl HdfsConfig {
             max_repl_orders_per_tick: 64,
             datanode_capacity: 400 * GIB,
             disk_check_interval: None,
+            availability: None,
+            repl_fairness: false,
         }
     }
 
@@ -84,6 +99,22 @@ impl HdfsConfig {
     /// Override per-datanode capacity (disk-overflow experiment X4).
     pub fn with_capacity(mut self, c: u64) -> Self {
         self.datanode_capacity = c;
+        self
+    }
+
+    /// Arm the Trua-style per-block availability policy. Also turns on
+    /// fair replication dispatch: adaptive targets widen the bucket
+    /// spread, which makes budget-induced starvation of high buckets
+    /// much more likely.
+    pub fn with_availability(mut self, p: AvailabilityPolicy) -> Self {
+        self.availability = Some(p);
+        self.repl_fairness = true;
+        self
+    }
+
+    /// Arm fair (rotating) replication dispatch on its own.
+    pub fn with_repl_fairness(mut self) -> Self {
+        self.repl_fairness = true;
         self
     }
 }
@@ -114,5 +145,16 @@ mod tests {
         assert_eq!(c.replication, 5);
         assert_eq!(c.dead_node_timeout, SimDuration::from_secs(60));
         assert_eq!(c.datanode_capacity, GIB);
+    }
+
+    #[test]
+    fn availability_defaults_off_and_builder_arms_fairness() {
+        assert!(HdfsConfig::hog().availability.is_none());
+        assert!(!HdfsConfig::hog().repl_fairness);
+        assert!(HdfsConfig::stock().availability.is_none());
+        let c = HdfsConfig::hog().with_availability(AvailabilityPolicy::trua_default());
+        assert!(c.availability.is_some());
+        assert!(c.repl_fairness);
+        assert!(HdfsConfig::hog().with_repl_fairness().repl_fairness);
     }
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod availability;
 pub mod balancer;
 pub mod config;
 pub mod datanode;
@@ -32,10 +33,12 @@ pub mod namenode;
 pub mod placement;
 pub mod types;
 
+pub use availability::{AvailabilityPolicy, AvailabilitySnapshot, SiteBand, SiteRisk};
 pub use config::HdfsConfig;
 pub use datanode::DatanodeInfo;
 pub use namenode::{Namenode, NamenodeTickOutput, ReplOrder};
 pub use placement::{
-    AnchorFirstPolicy, PlacementPolicy, RackAwarePolicy, RackObliviousPolicy, SiteAwarePolicy,
+    stable_first, AnchorFirstPolicy, PlacementPolicy, RackAwarePolicy, RackObliviousPolicy,
+    SiteAwarePolicy,
 };
 pub use types::{BlockId, BlockMeta, FileId, FileMeta};

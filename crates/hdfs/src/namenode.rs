@@ -17,6 +17,7 @@
 //!   and queues re-replication work, which it dispatches subject to
 //!   per-node stream limits.
 
+use crate::availability::{AvailabilitySnapshot, SiteBand};
 use crate::config::HdfsConfig;
 use crate::datanode::{DatanodeInfo, DnLiveness};
 use crate::placement::{Candidate, PlacementPolicy};
@@ -49,8 +50,12 @@ pub struct NamenodeTickOutput {
     pub orders: Vec<ReplOrder>,
 }
 
-/// Sentinel for "block not queued" in [`ReplQueue::bucket_of`].
-const NOT_QUEUED: u16 = u16::MAX;
+/// Sentinel for "block not queued" in [`ReplQueue::bucket_of`]. `u32`
+/// so every representable replica count (`expected` is `u16`, live
+/// counts can briefly exceed it after report replays) maps to its own
+/// bucket — the old `u16` sentinel forced a silent clamp at 65534 that
+/// misfiled boundary counts into the wrong priority bucket.
+const NOT_QUEUED: u32 = u32::MAX;
 
 /// Priority-bucketed re-replication queue (Hadoop's
 /// `UnderReplicatedBlocks`): queued blocks live in the bucket matching
@@ -64,7 +69,7 @@ struct ReplQueue {
     /// `buckets[c]` = queued blocks with exactly `c` live replicas.
     buckets: Vec<BTreeSet<BlockId>>,
     /// Block → occupied bucket, dense by BlockId ([`NOT_QUEUED`] = absent).
-    bucket_of: Vec<u16>,
+    bucket_of: Vec<u32>,
     len: usize,
 }
 
@@ -76,7 +81,7 @@ impl ReplQueue {
         if self.bucket_of.len() <= idx {
             self.bucket_of.resize(idx + 1, NOT_QUEUED);
         }
-        let count = count.min(NOT_QUEUED as usize - 1);
+        debug_assert!((count as u32) < NOT_QUEUED);
         let cur = self.bucket_of[idx];
         if cur as usize == count {
             return;
@@ -89,7 +94,7 @@ impl ReplQueue {
             self.buckets.resize_with(count + 1, BTreeSet::new);
         }
         self.buckets[count].insert(block);
-        self.bucket_of[idx] = count as u16;
+        self.bucket_of[idx] = count as u32;
         self.len += 1;
     }
 
@@ -106,6 +111,14 @@ impl ReplQueue {
         }
     }
 
+    /// The bucket `block` currently occupies, if queued.
+    fn bucket_index(&self, block: BlockId) -> Option<u32> {
+        match self.bucket_of.get(block.0 as usize) {
+            Some(&c) if c != NOT_QUEUED => Some(c),
+            _ => None,
+        }
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -118,6 +131,60 @@ impl ReplQueue {
     /// within a bucket.
     fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
         self.buckets.iter().flat_map(|b| b.iter().copied())
+    }
+
+    /// Queued blocks in dispatch order, rotated to start at the first
+    /// entry at or after `resume` in `(bucket, block)` order, wrapping
+    /// around. `None` is the plain [`ReplQueue::iter`] order. Fair
+    /// dispatch stores the first entry a budget-exhausted tick failed
+    /// to serve and resumes there, so a standing stream of critical
+    /// blocks cannot starve the high-bucket tail forever.
+    fn iter_rotated(&self, resume: Option<(u32, BlockId)>) -> Vec<BlockId> {
+        let mut ordered: Vec<(u32, BlockId)> = Vec::with_capacity(self.len);
+        for (c, bucket) in self.buckets.iter().enumerate() {
+            ordered.extend(bucket.iter().map(|&b| (c as u32, b)));
+        }
+        if let Some(cursor) = resume {
+            let split = ordered.partition_point(|&e| e < cursor);
+            ordered.rotate_left(split);
+        }
+        ordered.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Structural invariant check for the proptests: every `bucket_of`
+    /// entry points at a bucket actually containing the block, every
+    /// bucket member is indexed back, and `len` matches. Returns a
+    /// description of the first violation found.
+    fn check_invariant(&self) -> Result<(), String> {
+        let mut members = 0;
+        for (c, bucket) in self.buckets.iter().enumerate() {
+            members += bucket.len();
+            for &b in bucket {
+                match self.bucket_of.get(b.0 as usize) {
+                    Some(&idx) if idx as usize == c => {}
+                    other => {
+                        return Err(format!(
+                            "block {} in bucket {c} but bucket_of says {other:?}",
+                            b.0
+                        ));
+                    }
+                }
+            }
+        }
+        for (i, &c) in self.bucket_of.iter().enumerate() {
+            if c != NOT_QUEUED
+                && !self
+                    .buckets
+                    .get(c as usize)
+                    .is_some_and(|bk| bk.contains(&BlockId(i as u64)))
+            {
+                return Err(format!("bucket_of[{i}]={c} but bucket lacks the block"));
+            }
+        }
+        if members != self.len {
+            return Err(format!("len={} but buckets hold {members}", self.len));
+        }
+        Ok(())
     }
 }
 
@@ -162,11 +229,39 @@ pub struct Namenode {
     needs_repl: ReplQueue,
     /// In-flight replication targets per block (counted against deficit).
     pending_repl: HashMap<BlockId, Vec<NodeId>>,
+    /// Blocks holding more replicas than their per-block target, awaiting
+    /// excess trims. Only ever populated on availability-policy paths —
+    /// flat runs never lower a target, so this stays empty and the trim
+    /// pass is a no-op.
+    over_repl: BTreeSet<BlockId>,
+    /// Fair-dispatch resume cursor (`cfg.repl_fairness`): the queue
+    /// position of the first entry the previous budget-exhausted tick
+    /// did not serve. `None` after any tick that finished its pass.
+    fair_resume: Option<(u32, BlockId)>,
+    /// Latest per-site availability snapshot (tells the trim pass and
+    /// the boosted-block placement which sites count as stable). Soft
+    /// state: deliberately not in the fsimage.
+    avail_snapshot: Option<AvailabilitySnapshot>,
+    /// Per-block lifetime read counters, dense by BlockId. Only bumped
+    /// when the availability policy is armed; soft state.
+    reads: Vec<u32>,
     rng: SimRng,
     repl_completed: Counter,
     repl_failed: Counter,
     blocks_lost: Counter,
     bad_replica_reports: Counter,
+    // Counters below are outside the outcome fingerprint (which pins
+    // exactly the four above) — they can grow without breaking the
+    // bit-identity guarantees of existing benchmarks.
+    targets_raised: Counter,
+    targets_lowered: Counter,
+    replicas_trimmed: Counter,
+    /// Replica bytes written into HDFS, ever: pipeline commits,
+    /// re-replication completions and balancer copies all count.
+    bytes_written: Counter,
+    /// The re-replication (repair) share of `bytes_written`.
+    bytes_rereplicated: Counter,
+    total_reads: Counter,
     tracer: Tracer,
 }
 
@@ -186,11 +281,21 @@ impl Namenode {
             cand_cache: CandCache::default(),
             needs_repl: ReplQueue::default(),
             pending_repl: HashMap::new(),
+            over_repl: BTreeSet::new(),
+            fair_resume: None,
+            avail_snapshot: None,
+            reads: Vec::new(),
             rng,
             repl_completed: Counter::new(),
             repl_failed: Counter::new(),
             blocks_lost: Counter::new(),
             bad_replica_reports: Counter::new(),
+            targets_raised: Counter::new(),
+            targets_lowered: Counter::new(),
+            replicas_trimmed: Counter::new(),
+            bytes_written: Counter::new(),
+            bytes_rereplicated: Counter::new(),
+            total_reads: Counter::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -331,6 +436,11 @@ impl Namenode {
         }
         // 2. Replication monitor.
         out.orders = self.dispatch_replication(topo);
+        // 3. Excess-replica trims (availability policy only; `over_repl`
+        // stays empty on flat runs, making this a no-op there).
+        if self.cfg.availability.is_some() {
+            self.dispatch_trims(topo);
+        }
         for o in &out.orders {
             self.tracer.emit(|| {
                 TraceEvent::new(Layer::Hdfs, "repl_order")
@@ -448,7 +558,16 @@ impl Namenode {
         exclude: &BTreeSet<NodeId>,
         topo: &Topology,
     ) -> Option<(BlockId, Vec<NodeId>)> {
-        let repl = self.files[file.0 as usize].replication;
+        let file_repl = self.files[file.0 as usize].replication;
+        // With the availability policy armed, blocks are *born* at the
+        // policy's birth target instead of the file's flat factor — the
+        // retarget sweep then buys extra copies back for the blocks that
+        // turn out hot or risky. Trimming alone couldn't deliver this:
+        // the pipeline would still write the flat factor first.
+        let repl = match &self.cfg.availability {
+            Some(p) => p.birth_target(file_repl),
+            None => file_repl,
+        };
         // Reuse the candidate scan across back-to-back allocations (an
         // upload allocates one block per pipeline round-trip with no
         // datanode churn in between). The scan is O(all datanodes) — at
@@ -509,6 +628,7 @@ impl Namenode {
                 if dn.liveness != DnLiveness::Dead {
                     dn.add_block(block, size);
                     self.blocks[block.0 as usize].replicas.insert(n);
+                    self.bytes_written.add(size);
                 }
             }
         }
@@ -615,6 +735,17 @@ impl Namenode {
         reader: NodeId,
         topo: &Topology,
     ) -> Option<NodeId> {
+        // Heat signal for the availability policy: count every read
+        // *request* (retries after bad replicas included — a block that
+        // keeps readers waiting is exactly the one that wants copies).
+        if self.cfg.availability.is_some() {
+            let idx = block.0 as usize;
+            if self.reads.len() <= idx {
+                self.reads.resize(idx + 1, 0);
+            }
+            self.reads[idx] = self.reads[idx].saturating_add(1);
+            self.total_reads.incr();
+        }
         let meta = &self.blocks[block.0 as usize];
         // Only consider replicas on nodes the namenode believes usable.
         let usable: Vec<NodeId> = meta
@@ -686,17 +817,30 @@ impl Namenode {
 
     /// Issue replication orders for under-replicated blocks, most-critical
     /// (fewest live replicas) first, bounded by per-node stream limits and
-    /// the per-tick order budget.
+    /// the per-tick order budget. With `cfg.repl_fairness` the walk
+    /// resumes where a budget-exhausted tick stopped instead of always
+    /// restarting at bucket 0, so a standing trickle of critical blocks
+    /// cannot starve higher buckets forever.
     fn dispatch_replication(&mut self, topo: &Topology) -> Vec<ReplOrder> {
         if self.needs_repl.is_empty() {
+            self.fair_resume = None;
             return Vec::new();
         }
         // Priority: fewest replicas first (Hadoop's priority queues).
         // The buckets already hold that order — no per-tick sort.
-        let queue: Vec<BlockId> = self.needs_repl.iter().collect();
+        let queue: Vec<BlockId> = if self.cfg.repl_fairness {
+            self.needs_repl.iter_rotated(self.fair_resume)
+        } else {
+            self.needs_repl.iter().collect()
+        };
+        let avail = self.cfg.availability;
         let mut orders = Vec::new();
+        // First block the order budget refused to serve; next tick's
+        // fair walk resumes there.
+        let mut unserved: Option<BlockId> = None;
         for b in queue {
             if orders.len() >= self.cfg.max_repl_orders_per_tick {
+                unserved = Some(b);
                 break;
             }
             let meta = &self.blocks[b.0 as usize];
@@ -712,24 +856,37 @@ impl Namenode {
             let size = meta.size;
             // A source: live replica holder with stream budget. Zombies
             // qualify — the namenode cannot tell (transfer will fail).
+            // The stream check goes through `get` rather than indexing:
+            // a replica map entry whose datanode record vanished (a
+            // registration race) must be skipped, not panic the master.
             let srcs: Vec<NodeId> = meta
                 .replicas
                 .iter()
                 .copied()
                 .filter(|n| {
                     self.is_live(*n)
-                        && self.datanodes[n].repl_streams < self.cfg.max_repl_streams_per_node
+                        && self.datanodes.get(n).is_some_and(|d| {
+                            d.repl_streams < self.cfg.max_repl_streams_per_node
+                        })
                 })
                 .collect();
             if srcs.is_empty() {
                 continue; // nothing usable yet; retry next tick
             }
             for _ in 0..deficit {
+                // Budget exhaustion mid-block only breaks the copy loop;
+                // the *outer* budget check marks the next block unserved,
+                // so a partially-served block yields the fair cursor to
+                // its successor instead of monopolising it.
                 if orders.len() >= self.cfg.max_repl_orders_per_tick {
                     break;
                 }
                 let src = *self.rng.choose(&srcs);
-                if self.datanodes[&src].repl_streams >= self.cfg.max_repl_streams_per_node {
+                let src_has_stream = self
+                    .datanodes
+                    .get(&src)
+                    .is_some_and(|d| d.repl_streams < self.cfg.max_repl_streams_per_node);
+                if !src_has_stream {
                     break;
                 }
                 // Exclude existing replicas and in-flight targets.
@@ -738,13 +895,27 @@ impl Namenode {
                 if let Some(p) = self.pending_repl.get(&b) {
                     exclude.extend(p.iter().copied());
                 }
-                let cands: Vec<Candidate> = self
+                let mut cands: Vec<Candidate> = self
                     .candidates(size, &exclude, topo)
                     .into_iter()
                     .filter(|c| {
-                        self.datanodes[&c.node].repl_streams < self.cfg.max_repl_streams_per_node
+                        self.datanodes.get(&c.node).is_some_and(|d| {
+                            d.repl_streams < self.cfg.max_repl_streams_per_node
+                        })
                     })
                     .collect();
+                // Availability-boosted copies (target above the birth
+                // target) exist to *survive*: prefer stable sites for
+                // them, falling back to the full set when none qualify.
+                if let (Some(p), Some(snap)) = (avail.as_ref(), self.avail_snapshot.as_ref()) {
+                    let meta = &self.blocks[b.0 as usize];
+                    let base = p.birth_target(self.files[meta.file.0 as usize].replication);
+                    if meta.expected > base {
+                        cands = crate::placement::stable_first(cands, |s| {
+                            snap.classify(s, p) == SiteBand::Stable
+                        });
+                    }
+                }
                 let existing: Vec<(NodeId, hog_net::SiteId)> = self.blocks[b.0 as usize]
                     .replicas
                     .iter()
@@ -754,8 +925,20 @@ impl Namenode {
                     .policy
                     .choose(None, 1, &existing, &cands, &mut self.rng);
                 let Some(&dst) = targets.first() else { break };
-                self.datanodes.get_mut(&src).unwrap().repl_streams += 1;
-                self.datanodes.get_mut(&dst).unwrap().repl_streams += 1;
+                // Both ends were checked above, but re-fetch defensively:
+                // a missing record between scan and order skips the order
+                // instead of bringing the namenode down.
+                let Some(src_dn) = self.datanodes.get_mut(&src) else {
+                    break;
+                };
+                src_dn.repl_streams += 1;
+                let Some(dst_dn) = self.datanodes.get_mut(&dst) else {
+                    if let Some(s) = self.datanodes.get_mut(&src) {
+                        s.repl_streams = s.repl_streams.saturating_sub(1);
+                    }
+                    break;
+                };
+                dst_dn.repl_streams += 1;
                 self.pending_repl.entry(b).or_default().push(dst);
                 orders.push(ReplOrder {
                     block: b,
@@ -765,6 +948,14 @@ impl Namenode {
                 });
             }
         }
+        self.fair_resume = if self.cfg.repl_fairness {
+            // Anchor the cursor at the first unserved block's *current*
+            // bucket; if it got dequeued meanwhile the rotation simply
+            // starts at the next position in (bucket, block) order.
+            unserved.map(|b| (self.needs_repl.bucket_index(b).unwrap_or(0), b))
+        } else {
+            None
+        };
         orders
     }
 
@@ -794,11 +985,20 @@ impl Namenode {
         }
         if success {
             self.repl_completed.incr();
+            if self.blocks[block.0 as usize].expected == 0 {
+                // The block was deleted (or abandoned) while the transfer
+                // was in flight: the destination discards the copy rather
+                // than resurrecting a replica of a dead block — the old
+                // path leaked that replica's bytes forever.
+                return;
+            }
             let size = self.blocks[block.0 as usize].size;
             if let Some(dn) = self.datanodes.get_mut(&dst) {
                 if dn.liveness != DnLiveness::Dead {
                     dn.add_block(block, size);
                     self.blocks[block.0 as usize].replicas.insert(dst);
+                    self.bytes_written.add(size);
+                    self.bytes_rereplicated.add(size);
                 }
             }
             let meta = &self.blocks[block.0 as usize];
@@ -809,6 +1009,11 @@ impl Namenode {
                 let count = meta.replicas.len();
                 self.needs_repl.insert(block, count);
             }
+            // A target lowered while this transfer was in flight can
+            // leave the block over target now; queue the excess trim.
+            if self.cfg.availability.is_some() && meta.excess() > 0 {
+                self.over_repl.insert(block);
+            }
         } else {
             self.repl_failed.incr();
             // Stays (or re-enters) the queue if still deficient.
@@ -818,6 +1023,243 @@ impl Namenode {
                 self.needs_repl.insert(block, count);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Availability policy (per-block targets)
+    // ------------------------------------------------------------------
+
+    /// Re-derive a block's queue memberships from its current replica
+    /// count vs target: under target → under-replication queue, over
+    /// target → trim queue, deleted → neither.
+    fn refresh_block_queues(&mut self, block: BlockId) {
+        let meta = &self.blocks[block.0 as usize];
+        if meta.expected == 0 {
+            self.needs_repl.remove(block);
+            self.over_repl.remove(&block);
+            return;
+        }
+        if meta.deficit() > 0 {
+            let count = meta.replicas.len();
+            self.needs_repl.insert(block, count);
+        } else {
+            self.needs_repl.remove(block);
+        }
+        if meta.excess() > 0 {
+            self.over_repl.insert(block);
+        } else {
+            self.over_repl.remove(&block);
+        }
+    }
+
+    /// Retarget a single block's replication (the availability policy's
+    /// per-block knob; also the handle the target-transition proptests
+    /// drive). Raising queues repair; lowering queues excess-replica
+    /// trims for the next monitor tick. No-op on deleted blocks.
+    pub fn set_block_replication(&mut self, block: BlockId, r: u16) {
+        let r = r.max(1);
+        let meta = &mut self.blocks[block.0 as usize];
+        if meta.expected == 0 || meta.expected == r {
+            return;
+        }
+        if r > meta.expected {
+            self.targets_raised.incr();
+        } else {
+            self.targets_lowered.incr();
+        }
+        meta.expected = r;
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "block_retarget")
+                .with("block", block.0)
+                .with("target", r as u64)
+        });
+        self.refresh_block_queues(block);
+    }
+
+    /// One availability sweep: recompute every live block's target from
+    /// the policy's signals (host-site risk bands from `snapshot`, the
+    /// block's read heat) through the hysteresis band, and remember the
+    /// snapshot so replica placement and trims can classify sites until
+    /// the next sweep. Returns `(targets raised, targets lowered)` this
+    /// sweep. No-op unless the policy is armed.
+    pub fn apply_availability(
+        &mut self,
+        snapshot: AvailabilitySnapshot,
+        topo: &Topology,
+    ) -> (u64, u64) {
+        let Some(policy) = self.cfg.availability else {
+            return (0, 0);
+        };
+        let before = (self.targets_raised.get(), self.targets_lowered.get());
+        let mut retargets: Vec<(BlockId, u16)> = Vec::new();
+        for (i, meta) in self.blocks.iter().enumerate() {
+            if meta.expected == 0 {
+                continue;
+            }
+            let base = policy.birth_target(self.files[meta.file.0 as usize].replication);
+            let hosts = meta.replicas.len();
+            let mut risky = 0usize;
+            let mut stable = 0usize;
+            for &n in &meta.replicas {
+                match snapshot.classify(topo.site_of(n), &policy) {
+                    SiteBand::Risky => risky += 1,
+                    SiteBand::Stable => stable += 1,
+                    SiteBand::Neutral => {}
+                }
+            }
+            let reads = self.reads.get(i).copied().unwrap_or(0);
+            let raw = policy.raw_target(base, reads, risky, stable, hosts);
+            let new = policy.apply(meta.expected, raw);
+            if new != meta.expected {
+                retargets.push((BlockId(i as u64), new));
+            }
+        }
+        for (b, r) in retargets {
+            self.set_block_replication(b, r);
+        }
+        self.avail_snapshot = Some(snapshot);
+        (
+            self.targets_raised.get() - before.0,
+            self.targets_lowered.get() - before.1,
+        )
+    }
+
+    /// Drop one excess replica of `block` at `node` (availability trims
+    /// and the balancer's shed pass). Instant metadata operation — the
+    /// datanode just deletes the copy; no transfer.
+    pub fn trim_replica(&mut self, block: BlockId, node: NodeId) {
+        let size = self.blocks[block.0 as usize].size;
+        if !self.blocks[block.0 as usize].replicas.remove(&node) {
+            return;
+        }
+        self.dn_changed(); // frees space → candidate cache is stale
+        if let Some(dn) = self.datanodes.get_mut(&node) {
+            dn.remove_block(block, size);
+        }
+        self.replicas_trimmed.incr();
+        self.tracer.emit(|| {
+            TraceEvent::new(Layer::Hdfs, "replica_trim")
+                .with("block", block.0)
+                .with("node", node.0)
+        });
+        self.refresh_block_queues(block);
+    }
+
+    /// Serve the excess-replica trim queue, dropping replicas from the
+    /// riskiest sites first (stable copies are the ones a lowered target
+    /// is betting on), bounded by the same per-tick budget as repairs.
+    fn dispatch_trims(&mut self, topo: &Topology) {
+        if self.over_repl.is_empty() {
+            return;
+        }
+        let policy = self.cfg.availability;
+        let blocks: Vec<BlockId> = self.over_repl.iter().copied().collect();
+        let mut trimmed = 0usize;
+        for b in blocks {
+            if trimmed >= self.cfg.max_repl_orders_per_tick {
+                break;
+            }
+            let meta = &self.blocks[b.0 as usize];
+            let excess = meta.excess();
+            if meta.expected == 0 || excess == 0 {
+                self.over_repl.remove(&b);
+                continue;
+            }
+            // Victim order: risky sites first, stable last,
+            // NodeId-ascending within a band — deterministic, and keeps
+            // the copies most likely to survive.
+            let mut holders: Vec<(u8, NodeId)> = meta
+                .replicas
+                .iter()
+                .map(|&n| {
+                    let band = match (policy.as_ref(), self.avail_snapshot.as_ref()) {
+                        (Some(p), Some(snap)) => match snap.classify(topo.site_of(n), p) {
+                            SiteBand::Risky => 0u8,
+                            SiteBand::Neutral => 1,
+                            SiteBand::Stable => 2,
+                        },
+                        _ => 1,
+                    };
+                    (band, n)
+                })
+                .collect();
+            holders.sort_unstable();
+            let victims: Vec<NodeId> = holders.iter().take(excess).map(|&(_, n)| n).collect();
+            for n in victims {
+                self.trim_replica(b, n);
+                trimmed += 1;
+                if trimmed >= self.cfg.max_repl_orders_per_tick {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Availability-policy lifetime counters: `(targets raised, targets
+    /// lowered, excess replicas trimmed)`. All zero when the policy is
+    /// off. Outside the outcome fingerprint.
+    pub fn availability_counters(&self) -> (u64, u64, u64) {
+        (
+            self.targets_raised.get(),
+            self.targets_lowered.get(),
+            self.replicas_trimmed.get(),
+        )
+    }
+
+    /// Replica bytes ever written into HDFS: pipeline commits,
+    /// re-replication completions and balancer copies.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.get()
+    }
+
+    /// The repair (re-replication) share of [`Namenode::bytes_written`].
+    pub fn bytes_rereplicated(&self) -> u64 {
+        self.bytes_rereplicated.get()
+    }
+
+    /// Reads served since birth (0 unless the availability policy is
+    /// armed — the counter is only maintained for its heat signal).
+    pub fn read_count(&self) -> u64 {
+        self.total_reads.get()
+    }
+
+    /// Lifetime read count of one block (0 unless the policy is armed).
+    pub fn block_reads(&self, block: BlockId) -> u32 {
+        self.reads.get(block.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Count of blocks currently queued for excess-replica trims.
+    pub fn over_replicated_count(&self) -> usize {
+        self.over_repl.len()
+    }
+
+    /// Structural check of the replication queues for the proptests:
+    /// the bucket index of every queued block must equal its live
+    /// replica count, no queue entry may reference a deleted block, and
+    /// the queue's internal index must be self-consistent.
+    #[doc(hidden)]
+    pub fn debug_queue_invariant(&self) -> Result<(), String> {
+        self.needs_repl.check_invariant()?;
+        for b in self.needs_repl.iter() {
+            let meta = &self.blocks[b.0 as usize];
+            if meta.expected == 0 {
+                return Err(format!("deleted block {} still queued for repair", b.0));
+            }
+            let bucket = self.needs_repl.bucket_index(b).unwrap_or(NOT_QUEUED);
+            if bucket as usize != meta.replicas.len() {
+                return Err(format!(
+                    "block {} queued in bucket {bucket} but has {} live replicas",
+                    b.0,
+                    meta.replicas.len()
+                ));
+            }
+        }
+        for &b in &self.over_repl {
+            if self.blocks[b.0 as usize].expected == 0 {
+                return Err(format!("deleted block {} still queued for trims", b.0));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -949,13 +1391,20 @@ impl Namenode {
         }
         let mut accepted = 0;
         let mut orphaned = 0;
+        // Re-borrow the record once for the whole report instead of an
+        // unwrap per block: `datanodes` and `blocks` are disjoint
+        // fields, so both can be borrowed through `self` concurrently.
+        let dn = self
+            .datanodes
+            .get_mut(&node)
+            .expect("replay_block_report: record was (re)inserted above");
         for &b in report {
             let known =
                 (b.0 as usize) < self.blocks.len() && self.blocks[b.0 as usize].expected > 0;
             if known {
                 let size = self.blocks[b.0 as usize].size;
                 self.blocks[b.0 as usize].replicas.insert(node);
-                self.datanodes.get_mut(&node).unwrap().add_block(b, size);
+                dn.add_block(b, size);
                 accepted += 1;
             } else {
                 self.bad_replica_reports.incr();
@@ -977,6 +1426,7 @@ impl Namenode {
             dn.repl_streams = 0;
         }
         self.needs_repl = ReplQueue::default();
+        self.fair_resume = None;
         let deficient: Vec<(BlockId, usize)> = self
             .blocks
             .iter()
@@ -986,6 +1436,17 @@ impl Namenode {
             .collect();
         for (b, count) in deficient {
             self.needs_repl.insert(b, count);
+        }
+        // The trim queue is soft state too: rescan it from excess
+        // counts (replayed block reports can legitimately restore more
+        // replicas than a lowered target wants).
+        self.over_repl.clear();
+        if self.cfg.availability.is_some() {
+            for (i, m) in self.blocks.iter().enumerate() {
+                if m.expected > 0 && m.excess() > 0 {
+                    self.over_repl.insert(BlockId(i as u64));
+                }
+            }
         }
     }
 
@@ -1432,5 +1893,241 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn repl_queue_boundary_counts_file_into_correct_buckets() {
+        // Regression: the old `u16` sentinel clamped counts at 65534,
+        // misfiling 65535+ into bucket 65534 (wrong priority order).
+        let mut q = ReplQueue::default();
+        q.insert(BlockId(1), 65_534);
+        q.insert(BlockId(2), 65_535);
+        q.insert(BlockId(3), 70_000);
+        q.insert(BlockId(4), 3);
+        assert_eq!(q.bucket_index(BlockId(2)), Some(65_535));
+        assert_eq!(q.bucket_index(BlockId(3)), Some(70_000));
+        let order: Vec<u64> = q.iter().map(|b| b.0).collect();
+        assert_eq!(order, vec![4, 1, 2, 3], "priority must follow true counts");
+        q.remove(BlockId(3));
+        assert_eq!(q.len(), 3);
+        assert!(q.check_invariant().is_ok());
+    }
+
+    #[test]
+    fn fair_dispatch_prevents_low_bucket_starvation() {
+        // Two deficient blocks, an order budget of 1, and transfers
+        // that keep failing: legacy dispatch restarts at bucket 0 every
+        // tick and serves the 1-replica block forever; fair dispatch
+        // rotates so the 2-replica block gets its turn.
+        let serve = |fair: bool| -> Vec<u64> {
+            let mut cfg = HdfsConfig::hog().with_replication(3);
+            cfg.max_repl_orders_per_tick = 1;
+            if fair {
+                cfg = cfg.with_repl_fairness();
+            }
+            let (mut nn, topo, _) = setup(4, cfg);
+            let fa = nn.create_file_default("/a");
+            let (ba, ta) = nn.allocate_block(fa, 1024, None, &topo).unwrap();
+            nn.commit_block(ba, &ta[..1]); // bucket 1
+            let fb = nn.create_file_default("/b");
+            let (bb, tb) = nn.allocate_block(fb, 1024, None, &topo).unwrap();
+            nn.commit_block(bb, &tb[..2]); // bucket 2
+            let mut served = Vec::new();
+            for i in 0..6 {
+                let out = nn.tick(SimTime::from_secs(1 + i), &topo);
+                for o in out.orders {
+                    served.push(o.block.0);
+                    nn.repl_done(o.block, o.src, o.dst, false);
+                }
+            }
+            served
+        };
+        let legacy = serve(false);
+        assert!(
+            legacy.iter().all(|&b| b == legacy[0]),
+            "legacy order drains the lowest bucket only: {legacy:?}"
+        );
+        let fair = serve(true);
+        let unique: BTreeSet<u64> = fair.iter().copied().collect();
+        assert_eq!(unique.len(), 2, "fair dispatch serves both blocks: {fair:?}");
+    }
+
+    #[test]
+    fn delete_mid_replication_scan_does_not_resurrect_replicas() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, _) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 3, 1 << 20);
+        let victim = *nn.block(nn.blocks_of(f)[0]).replicas.iter().next().unwrap();
+        nn.mark_silent(SimTime::ZERO, victim);
+        let out = nn.tick(SimTime::from_secs(31), &topo);
+        assert!(!out.orders.is_empty());
+        // The file vanishes while the repair transfers are in flight.
+        nn.delete_file("/in/a");
+        assert_eq!(nn.total_used(), 0);
+        for o in out.orders {
+            nn.repl_done(o.block, o.src, o.dst, true);
+        }
+        // Late completions must not resurrect replicas of deleted
+        // blocks (the old path leaked those bytes forever).
+        assert_eq!(nn.total_used(), 0, "deleted block's bytes leaked back");
+        assert_eq!(nn.under_replicated_count(), 0);
+        assert!(hog_sim_core::Auditable::audit(&nn).is_empty());
+        assert!(nn.debug_queue_invariant().is_ok());
+    }
+
+    #[test]
+    fn armed_policy_births_blocks_at_birth_target() {
+        use crate::availability::AvailabilityPolicy;
+        let cfg = HdfsConfig::hog().with_availability(AvailabilityPolicy::trua_default());
+        let (mut nn, topo, _) = setup(4, cfg); // file repl 10, birth 6
+        let f = write_file(&mut nn, &topo, "/in/a", 1, 1 << 20);
+        let b = nn.blocks_of(f)[0];
+        assert_eq!(nn.block(b).expected, 6);
+        assert_eq!(nn.block(b).replicas.len(), 6);
+        assert_eq!(nn.under_replicated_count(), 0);
+    }
+
+    #[test]
+    fn lowering_block_target_trims_excess() {
+        use crate::availability::AvailabilityPolicy;
+        let cfg = HdfsConfig::hog()
+            .with_replication(6)
+            .with_availability(AvailabilityPolicy::trua_default());
+        let (mut nn, topo, _) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 2, 1 << 20);
+        let b = nn.blocks_of(f)[0];
+        assert_eq!(nn.block(b).replicas.len(), 6);
+        nn.set_block_replication(b, 4);
+        assert_eq!(nn.over_replicated_count(), 1);
+        nn.tick(SimTime::from_secs(1), &topo);
+        assert_eq!(nn.block(b).replicas.len(), 4);
+        assert_eq!(nn.over_replicated_count(), 0);
+        let (_, lowered, trimmed) = nn.availability_counters();
+        assert_eq!((lowered, trimmed), (1, 2));
+        assert!(nn.debug_queue_invariant().is_ok());
+    }
+
+    #[test]
+    fn availability_sweep_raises_hot_and_lowers_cold_stable() {
+        use crate::availability::{AvailabilityPolicy, AvailabilitySnapshot, SiteRisk};
+        let cfg = HdfsConfig::hog().with_availability(AvailabilityPolicy::trua_default());
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 2, 1 << 20);
+        let (hot, cold) = (nn.blocks_of(f)[0], nn.blocks_of(f)[1]);
+        for _ in 0..3 {
+            nn.pick_read_source(hot, nodes[0], &topo);
+        }
+        assert_eq!(nn.block_reads(hot), 3);
+        // Every site stable: the hot block buys copies, the cold sheds.
+        let stable = AvailabilitySnapshot {
+            sites: vec![
+                SiteRisk {
+                    penalty: 0.0,
+                    lifetime_secs: 7200.0
+                };
+                3
+            ],
+        };
+        let (raised, lowered) = nn.apply_availability(stable, &topo);
+        assert_eq!((raised, lowered), (1, 1));
+        assert_eq!(nn.block(hot).expected, 8); // birth 6 + hot boost 2
+        assert_eq!(nn.block(cold).expected, 4); // birth 6 - stable drop 2
+        // Every site risky: both blocks buy protection.
+        let risky = AvailabilitySnapshot {
+            sites: vec![
+                SiteRisk {
+                    penalty: 5.0,
+                    lifetime_secs: 600.0
+                };
+                3
+            ],
+        };
+        let (raised, _) = nn.apply_availability(risky, &topo);
+        assert_eq!(raised, 2);
+        assert_eq!(nn.block(hot).expected, 10); // 6 + hot 2 + risky 2
+        assert_eq!(nn.block(cold).expected, 8); // 6 + risky 2
+        assert!(nn.debug_queue_invariant().is_ok());
+    }
+
+    #[test]
+    fn reads_not_counted_without_policy() {
+        let cfg = HdfsConfig::hog().with_replication(3);
+        let (mut nn, topo, nodes) = setup(4, cfg);
+        let f = write_file(&mut nn, &topo, "/in/a", 1, 1024);
+        let b = nn.blocks_of(f)[0];
+        nn.pick_read_source(b, nodes[0], &topo);
+        assert_eq!(nn.read_count(), 0);
+        assert_eq!(nn.block_reads(b), 0);
+    }
+
+    mod target_transition_props {
+        use super::*;
+        use crate::availability::AvailabilityPolicy;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Raising/lowering per-block targets mid-run — interleaved
+            /// with failures, repairs and monitor ticks — must keep the
+            /// queue invariant (bucket index == live replica count, no
+            /// orphaned entries), and lowered targets must eventually
+            /// trim all excess replicas.
+            #[test]
+            fn prop_target_transitions_keep_queue_invariant(
+                ops in proptest::collection::vec((0u8..4, 0u64..8, 1u16..14), 1..50),
+            ) {
+                let cfg = HdfsConfig::hog()
+                    .with_replication(3)
+                    .with_availability(AvailabilityPolicy::trua_default());
+                let (mut nn, topo, _) = setup(4, cfg);
+                let f = write_file(&mut nn, &topo, "/in/a", 6, 1 << 20);
+                let blocks: Vec<BlockId> = nn.blocks_of(f).to_vec();
+                let mut t = 0u64;
+                for (op, bi, r) in ops {
+                    let b = blocks[(bi as usize) % blocks.len()];
+                    match op {
+                        0 => nn.set_block_replication(b, r),
+                        1 => {
+                            if let Some(&n) = nn.block(b).replicas.iter().next() {
+                                nn.report_bad_replica(b, n);
+                            }
+                        }
+                        2 => {
+                            t += 1;
+                            let out = nn.tick(SimTime::from_secs(t), &topo);
+                            for o in out.orders {
+                                // Mix successes and failures deterministically.
+                                let ok = !(o.block.0 + o.dst.0 as u64 + t).is_multiple_of(3);
+                                nn.repl_done(o.block, o.src, o.dst, ok);
+                            }
+                        }
+                        _ => {
+                            t += 1;
+                            nn.tick(SimTime::from_secs(t), &topo);
+                        }
+                    }
+                    if let Err(e) = nn.debug_queue_invariant() {
+                        prop_assert!(false, "queue invariant broken: {e}");
+                    }
+                }
+                // Lowering every target must eventually clear all excess.
+                for &b in &blocks {
+                    nn.set_block_replication(b, 1);
+                }
+                for _ in 0..25 {
+                    t += 1;
+                    let out = nn.tick(SimTime::from_secs(t), &topo);
+                    for o in out.orders {
+                        nn.repl_done(o.block, o.src, o.dst, true);
+                    }
+                }
+                prop_assert_eq!(nn.over_replicated_count(), 0);
+                for &b in &blocks {
+                    prop_assert_eq!(nn.block(b).excess(), 0);
+                }
+                if let Err(e) = nn.debug_queue_invariant() {
+                    prop_assert!(false, "queue invariant broken after drain: {e}");
+                }
+            }
+        }
     }
 }

@@ -349,6 +349,21 @@ impl PlacementPolicy for RackObliviousPolicy {
     }
 }
 
+/// Restrict `candidates` to stable sites when placing availability-
+/// boosted *extra* copies (Trua-style targets above the birth target):
+/// an extra copy parked on a churn-prone site would be preempted before
+/// it earns its bytes. Falls back to the full set when no candidate
+/// sits on a stable site — durability first, placement preference
+/// second. Relative candidate order is preserved, so downstream policy
+/// choices stay deterministic.
+pub fn stable_first<F: Fn(SiteId) -> bool>(candidates: Vec<Candidate>, is_stable: F) -> Vec<Candidate> {
+    if candidates.iter().any(|c| is_stable(c.site)) {
+        candidates.into_iter().filter(|c| is_stable(c.site)).collect()
+    } else {
+        candidates
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +561,22 @@ mod tests {
         ] {
             assert!(policy.choose(None, 3, &[], &[], &mut rng).is_empty());
         }
+    }
+
+    #[test]
+    fn stable_first_filters_and_falls_back() {
+        let cands = cluster(12, 4); // sites 0..4, 3 nodes each
+        // Sites 1 and 3 stable: only their nodes survive, order kept.
+        let filtered = stable_first(cands.clone(), |s| s.0 % 2 == 1);
+        assert_eq!(filtered.len(), 6);
+        assert!(filtered.iter().all(|c| c.site.0 % 2 == 1));
+        let ids: Vec<u32> = filtered.iter().map(|c| c.node.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "relative order preserved");
+        // No stable site at all: full set returned unchanged.
+        let fallback = stable_first(cands.clone(), |_| false);
+        assert_eq!(fallback.len(), cands.len());
     }
 
     proptest! {

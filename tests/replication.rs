@@ -1,0 +1,87 @@
+//! Adaptive per-block replication guarantees (X17): the availability
+//! policy must be invisible when off — BENCH_scale's pinned fingerprints
+//! are history — and when armed must trade flat-10's blanket replication
+//! for risk-tracked per-block targets, deterministically.
+
+use hog_bench::outcome_fingerprint;
+use hog_repro::hdfs::AvailabilityPolicy;
+use hog_repro::prelude::*;
+
+fn truncated(seed: u64) -> SubmissionSchedule {
+    SubmissionSchedule::facebook_truncated(seed)
+}
+
+/// The policy-off acceptance anchor: with `cfg.hdfs.availability` unset
+/// (the default), every namenode change in this PR — per-block target
+/// plumbing, the bucketed-queue rework, fair-dispatch machinery, trim
+/// paths — must leave BENCH_scale's dev-tier cell byte-identical. The
+/// constant is copied from BENCH_scale.baseline.json.
+#[test]
+fn policy_off_keeps_pinned_scale_fingerprint() {
+    let r = run_workload(
+        ClusterConfig::hog(100, 7),
+        &truncated(1007),
+        SimDuration::from_secs(100 * 3600),
+    );
+    assert!(!r.stopped_early);
+    assert_eq!(outcome_fingerprint(&r), "cf17f90b65a09cc8");
+    // And the policy's side-channels stay silent: no retargets, no
+    // trims, no read accounting.
+    assert_eq!(r.availability, (0, 0, 0));
+    let nn = r.nn_counters;
+    assert!(nn.0 > 0, "churn must have forced re-replication");
+}
+
+/// Armed against calibrated churn, the policy births blocks at the
+/// Trua initial target (6) instead of flat 10 and trims excess when
+/// targets drop — materially fewer replica bytes for the same workload,
+/// with every job still finishing.
+#[test]
+fn armed_policy_saves_replica_bytes_and_completes() {
+    let horizon = SimDuration::from_secs(24 * 3600);
+    let schedule = truncated(42);
+    let flat = run_workload(
+        ClusterConfig::hog(60, 42).with_calibrated_churn_at(8.0),
+        &schedule,
+        horizon,
+    );
+    let armed = run_workload(
+        ClusterConfig::hog(60, 42)
+            .with_calibrated_churn_at(8.0)
+            .with_availability_policy(AvailabilityPolicy::trua_default()),
+        &schedule,
+        horizon,
+    );
+    assert!(!flat.stopped_early && !armed.stopped_early);
+    assert_eq!(flat.availability, (0, 0, 0), "flat run: policy inert");
+    assert!(
+        armed.replica_bytes < flat.replica_bytes,
+        "adaptive targets must write fewer replica bytes: {} vs {}",
+        armed.replica_bytes,
+        flat.replica_bytes
+    );
+    assert_eq!(
+        armed.jobs_succeeded(),
+        flat.jobs_succeeded(),
+        "thinner replication must not cost job completions at this scale"
+    );
+    assert_eq!(armed.missing_blocks, 0);
+}
+
+/// The armed policy is part of the deterministic simulation: same seed,
+/// same sweep decisions, same outcome — different seed diverges.
+#[test]
+fn armed_policy_is_deterministic() {
+    let run = |seed: u64| {
+        let r = run_workload(
+            ClusterConfig::hog(50, seed)
+                .with_calibrated_churn_at(8.0)
+                .with_availability_policy(AvailabilityPolicy::trua_default()),
+            &truncated(seed),
+            SimDuration::from_secs(24 * 3600),
+        );
+        (outcome_fingerprint(&r), r.availability, r.replica_bytes)
+    };
+    assert_eq!(run(9), run(9), "same seed must replay identically");
+    assert_ne!(run(9).0, run(10).0, "different seeds must diverge");
+}
